@@ -1,0 +1,141 @@
+// Micro-benchmarks of the substrate kernels (google-benchmark): GEMM,
+// reference vs square-block SYR2K, SYMV, panel QR, a bulge-chase sweep and
+// the tridiagonal eigensolvers. These are the building blocks whose shapes
+// the device model prices; the CPU numbers here document the substrate
+// itself.
+
+#include <benchmark/benchmark.h>
+
+#include "bc/bulge_chase.h"
+#include "common/rng.h"
+#include "eig/eig.h"
+#include "la/blas.h"
+#include "la/generate.h"
+#include "lapack/lapack.h"
+#include "sbr/sbr.h"
+
+namespace {
+
+using namespace tdg;
+
+void BM_Gemm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(1);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    la::gemm(Trans::kNo, Trans::kNo, 1.0, a.view(), b.view(), 0.0, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPs"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Syr2kReference(benchmark::State& state) {
+  const index_t n = 512;
+  const index_t k = state.range(0);
+  Rng rng(2);
+  const Matrix a = random_matrix(n, k, rng);
+  const Matrix b = random_matrix(n, k, rng);
+  Matrix c = random_symmetric(n, rng);
+  for (auto _ : state) {
+    la::syr2k_lower(-1.0, a.view(), b.view(), 1.0, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPs"] = benchmark::Counter(
+      2.0 * n * n * k * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Syr2kReference)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_Syr2kSquare(benchmark::State& state) {
+  const index_t n = 512;
+  const index_t k = state.range(0);
+  Rng rng(2);
+  const Matrix a = random_matrix(n, k, rng);
+  const Matrix b = random_matrix(n, k, rng);
+  Matrix c = random_symmetric(n, rng);
+  for (auto _ : state) {
+    la::syr2k_lower_square(-1.0, a.view(), b.view(), 1.0, c.view(), 128);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPs"] = benchmark::Counter(
+      2.0 * n * n * k * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Syr2kSquare)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_SymvLower(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(3);
+  const Matrix a = random_symmetric(n, rng);
+  std::vector<double> x(static_cast<size_t>(n), 1.0),
+      y(static_cast<size_t>(n));
+  for (auto _ : state) {
+    la::symv_lower(1.0, a.view(), x.data(), 0.0, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SymvLower)->Arg(512)->Arg(1024);
+
+void BM_PanelQr(benchmark::State& state) {
+  const index_t m = 1024, w = state.range(0);
+  Rng rng(4);
+  const Matrix a0 = random_matrix(m, w, rng);
+  for (auto _ : state) {
+    Matrix a = a0;
+    lapack::WyFactor f = lapack::panel_qr(a.view());
+    benchmark::DoNotOptimize(f.t.data());
+  }
+}
+BENCHMARK(BM_PanelQr)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ChaseSweepPacked(benchmark::State& state) {
+  const index_t n = 1024, b = state.range(0);
+  Rng rng(5);
+  const Matrix a0 = random_symmetric_band(n, b, rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    SymBandMatrix band =
+        extract_band(a0.view(), b, std::min<index_t>(2 * b, n - 1));
+    state.ResumeTiming();
+    bc::chase_packed(band, b, nullptr);
+    benchmark::DoNotOptimize(band.data());
+  }
+}
+BENCHMARK(BM_ChaseSweepPacked)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_Steqr(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(6);
+  std::vector<double> d0(static_cast<size_t>(n)),
+      e0(static_cast<size_t>(n - 1));
+  for (auto& v : d0) v = rng.normal();
+  for (auto& v : e0) v = rng.normal();
+  for (auto _ : state) {
+    std::vector<double> d = d0, e = e0;
+    eig::steqr(d, e, nullptr);
+    benchmark::DoNotOptimize(d.data());
+  }
+}
+BENCHMARK(BM_Steqr)->Arg(256)->Arg(1024);
+
+void BM_Stedc(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(7);
+  std::vector<double> d0(static_cast<size_t>(n)),
+      e0(static_cast<size_t>(n - 1));
+  for (auto& v : d0) v = rng.normal();
+  for (auto& v : e0) v = rng.normal();
+  Matrix q(n, n);
+  for (auto _ : state) {
+    std::vector<double> d = d0, e = e0;
+    eig::stedc(d, e, q.view());
+    benchmark::DoNotOptimize(q.data());
+  }
+}
+BENCHMARK(BM_Stedc)->Arg(256)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

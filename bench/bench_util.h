@@ -1,0 +1,63 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench prints (a) the paper's reported numbers where the paper gives
+// them, (b) our measured CPU numbers at laptop scale, and (c) device-model
+// projections at paper scale. EXPERIMENTS.md collects the comparisons.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace tdg::benchutil {
+
+inline void header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void rule() {
+  std::printf("--------------------------------------------------------------------------\n");
+}
+
+/// Flop counts used throughout the paper's evaluation.
+inline double tridiag_flops(index_t n) {
+  // The standard 4/3 n^3 credit used when quoting sytrd TFLOPs.
+  const double nd = static_cast<double>(n);
+  return 4.0 / 3.0 * nd * nd * nd;
+}
+
+inline double bc_flops(index_t n, index_t b) {
+  // ~6 b n^2: per sweep ~(n-i)/b block steps of ~12 b^2 flops.
+  return 6.0 * static_cast<double>(b) * static_cast<double>(n) *
+         static_cast<double>(n);
+}
+
+inline double syr2k_flops(index_t n, index_t k) {
+  return 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+/// Parse "--name=value" style integer flags; returns fallback when absent.
+inline index_t arg_int(int argc, char** argv, const std::string& name,
+                       index_t fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) {
+      return static_cast<index_t>(std::stoll(a.substr(prefix.size())));
+    }
+  }
+  return fallback;
+}
+
+inline bool arg_flag(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace tdg::benchutil

@@ -1,0 +1,60 @@
+// Capacity-planning example for the device model: given a problem size,
+// project how long each tridiagonalization pipeline would take on an
+// H100-SXM and an RTX 4090, and how the bulge-chasing pipeline scales with
+// the number of parallel sweeps.
+//
+//   ./build/examples/device_projection [n] [b] [k]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "gpumodel/bc_pipeline_model.h"
+#include "gpumodel/kernel_model.h"
+#include "gpumodel/trace_cost.h"
+
+int main(int argc, char** argv) {
+  using namespace tdg;
+  const index_t n = (argc > 1) ? std::atoll(argv[1]) : 32768;
+  const index_t b = (argc > 2) ? std::atoll(argv[2]) : 32;
+  const index_t k = (argc > 3) ? std::atoll(argv[3]) : 1024;
+
+  std::printf("projected tridiagonalization of a %lld x %lld FP64 matrix "
+              "(b = %lld, k = %lld)\n\n",
+              static_cast<long long>(n), static_cast<long long>(n),
+              static_cast<long long>(b), static_cast<long long>(k));
+
+  for (const auto& spec : {gpumodel::h100_sxm(), gpumodel::rtx4090()}) {
+    const gpumodel::KernelModel vendor(spec, true);
+    const gpumodel::KernelModel ours(spec, false);
+
+    const double direct =
+        gpumodel::price_trace(vendor, gpumodel::trace_sytrd(n, 64)).seconds;
+    const double classic =
+        gpumodel::price_trace(vendor, gpumodel::trace_sy2sb(n, 64, false))
+            .seconds +
+        gpumodel::magma_sb2st_seconds(n, 64);
+    const double dbbr =
+        gpumodel::price_trace(ours,
+                              gpumodel::trace_dbbr(n, b, k, true, 512))
+            .seconds;
+    const double bc = gpumodel::bc_gpu_optimized_seconds(spec, n, b);
+
+    const double flops = 4.0 / 3.0 * static_cast<double>(n) * n * n;
+    std::printf("-- %s --\n", spec.name.c_str());
+    std::printf("  direct (cuSOLVER-style):     %8.2f s  (%.2f TFLOPs)\n",
+                direct, flops / direct / 1e12);
+    std::printf("  classic 2-stage (MAGMA):     %8.2f s  (%.2f TFLOPs)\n",
+                classic, flops / classic / 1e12);
+    std::printf("  DBBR + pipelined BC (paper): %8.2f s  (%.2f TFLOPs)"
+                "  [stage1 %.2f + stage2 %.2f]\n",
+                dbbr + bc, flops / (dbbr + bc) / 1e12, dbbr, bc);
+
+    std::printf("  BC pipeline scaling: ");
+    for (index_t s : {1, 8, 32, 128}) {
+      std::printf(" S=%lld: %.2fs", static_cast<long long>(s),
+                  gpumodel::bc_gpu_seconds(spec, n, b, s));
+    }
+    std::printf("\n\n");
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "backtransform/apply_q2_blocked.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace tdg::bt {
+
+void apply_q2_left_blocked(const bc::ChaseLog& log, MatrixView c,
+                           index_t group) {
+  TDG_CHECK(c.rows == log.n, "apply_q2_left_blocked: row mismatch");
+  TDG_CHECK(group >= 1, "apply_q2_left_blocked: group must be >= 1");
+  const index_t nc = c.cols;
+  const index_t b = std::max<index_t>(log.b, 1);
+  std::vector<double> w(static_cast<std::size_t>(group) *
+                        static_cast<std::size_t>(nc));
+
+  // Sweeps in reverse; within a sweep the reflectors have pairwise-disjoint
+  // row ranges, so a chunk of `group` consecutive steps is exactly
+  // I - V diag(tau) V^T and its application needs only one pass:
+  //   W = V^T C  (chunk of dot products over disjoint row bands)
+  //   C -= V diag(tau) W.
+  // On a GPU this is one batched kernel per chunk instead of 2*group rank-1
+  // launches; the trace records it accordingly.
+  for (auto sweep = log.sweeps.rbegin(); sweep != log.sweeps.rend(); ++sweep) {
+    const auto& steps = sweep->steps;
+    index_t hi = static_cast<index_t>(steps.size());
+    while (hi > 0) {
+      const index_t lo = std::max<index_t>(0, hi - group);
+      const index_t q = hi - lo;
+      trace::record({trace::OpKind::kBatchedGemm, 2 * b, nc, 1, q});
+
+      // W(r, :) = v_r^T C over the step's row band.
+      for (index_t r = 0; r < q; ++r) {
+        const bc::Reflector& st = steps[static_cast<std::size_t>(lo + r)];
+        double* wr = w.data() + static_cast<std::size_t>(r) * nc;
+        if (st.tau == 0.0) {
+          std::fill(wr, wr + nc, 0.0);
+          continue;
+        }
+        for (index_t j = 0; j < nc; ++j) {
+          double s = c(st.row0, j);  // v(0) = 1 implicit
+          for (index_t i = 1; i < st.len; ++i) {
+            s += sweep->vpool[static_cast<std::size_t>(st.voff + i - 1)] *
+                 c(st.row0 + i, j);
+          }
+          wr[j] = s;
+        }
+      }
+      // C -= v_r * (tau_r * W(r, :)) for each reflector of the chunk.
+      for (index_t r = 0; r < q; ++r) {
+        const bc::Reflector& st = steps[static_cast<std::size_t>(lo + r)];
+        if (st.tau == 0.0) continue;
+        const double* wr = w.data() + static_cast<std::size_t>(r) * nc;
+        for (index_t j = 0; j < nc; ++j) {
+          const double tw = st.tau * wr[j];
+          c(st.row0, j) -= tw;
+          for (index_t i = 1; i < st.len; ++i) {
+            c(st.row0 + i, j) -=
+                tw * sweep->vpool[static_cast<std::size_t>(st.voff + i - 1)];
+          }
+        }
+      }
+      hi = lo;
+    }
+  }
+}
+
+}  // namespace tdg::bt

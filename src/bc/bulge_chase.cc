@@ -1,0 +1,90 @@
+#include "bc/bulge_chase.h"
+
+namespace tdg::bc {
+
+namespace {
+
+struct NoWait {
+  void operator()(index_t) const {}
+};
+
+template <class Acc>
+void chase_all_sequential(const Acc& acc, index_t b, ChaseLog* log) {
+  const index_t n = acc.n();
+  if (log != nullptr) {
+    log->n = n;
+    log->b = b;
+    log->sweeps.assign(static_cast<std::size_t>(std::max<index_t>(n - 2, 0)),
+                       SweepReflectors{});
+  }
+  if (b <= 1) return;  // bandwidth 1 is already tridiagonal
+  for (index_t i = 0; i + 2 < n; ++i) {
+    SweepReflectors* sl =
+        (log != nullptr) ? &log->sweeps[static_cast<std::size_t>(i)] : nullptr;
+    chase_sweep(acc, b, i, sl, NoWait{}, NoWait{});
+  }
+}
+
+}  // namespace
+
+void chase_dense(MatrixView a, index_t b, ChaseLog* log) {
+  TDG_CHECK(a.rows == a.cols, "chase_dense: matrix must be square");
+  TDG_CHECK(b >= 1, "chase_dense: bandwidth must be positive");
+  DenseLowerAccessor acc{a};
+  chase_all_sequential(acc, b, log);
+}
+
+void chase_packed(SymBandMatrix& band, index_t b, ChaseLog* log) {
+  TDG_CHECK(b >= 1, "chase_packed: bandwidth must be positive");
+  TDG_CHECK(band.kd() >= std::min(2 * b, band.n() - 1),
+            "chase_packed: storage bandwidth must be >= 2b for bulge room");
+  PackedLowerAccessor acc{&band};
+  chase_all_sequential(acc, b, log);
+}
+
+void extract_tridiag(ConstMatrixView a, std::vector<double>& d,
+                     std::vector<double>& e) {
+  const index_t n = a.rows;
+  d.assign(static_cast<std::size_t>(n), 0.0);
+  e.assign(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)), 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    d[static_cast<std::size_t>(i)] = a(i, i);
+    if (i + 1 < n) e[static_cast<std::size_t>(i)] = a(i + 1, i);
+  }
+}
+
+void extract_tridiag(const SymBandMatrix& band, std::vector<double>& d,
+                     std::vector<double>& e) {
+  const index_t n = band.n();
+  d.assign(static_cast<std::size_t>(n), 0.0);
+  e.assign(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)), 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    d[static_cast<std::size_t>(i)] = band.at(i, i);
+    if (i + 1 < n) e[static_cast<std::size_t>(i)] = band.at(i + 1, i);
+  }
+}
+
+void apply_q2_left(const ChaseLog& log, MatrixView c) {
+  TDG_CHECK(c.rows == log.n, "apply_q2_left: row mismatch");
+  std::vector<double> v(static_cast<std::size_t>(std::max<index_t>(log.b, 1)));
+  std::vector<double> work(static_cast<std::size_t>(c.cols));
+
+  // Q2 = H_1 H_2 ... H_K in execution order, so Q2 * C applies reflectors in
+  // reverse execution order (last sweep's last step first).
+  for (auto sweep = log.sweeps.rbegin(); sweep != log.sweeps.rend(); ++sweep) {
+    for (auto step = sweep->steps.rbegin(); step != sweep->steps.rend();
+         ++step) {
+      if (step->tau == 0.0) continue;
+      v[0] = 1.0;
+      for (index_t r = 1; r < step->len; ++r) {
+        v[static_cast<std::size_t>(r)] =
+            sweep->vpool[static_cast<std::size_t>(step->voff + r - 1)];
+      }
+      lapack::larf_left(v.data(), step->tau,
+                        c.block(step->row0, 0, step->len, c.cols),
+                        work.data());
+    }
+  }
+}
+
+}  // namespace tdg::bc

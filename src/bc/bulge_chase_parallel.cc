@@ -1,0 +1,97 @@
+#include "bc/bulge_chase_parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace tdg::bc {
+
+namespace {
+
+constexpr index_t kNotStarted = -1;
+
+template <class Acc>
+void chase_all_parallel(const Acc& acc, index_t b,
+                        const ParallelChaseOptions& opts, ChaseLog* log) {
+  const index_t n = acc.n();
+  const index_t nsweeps = std::max<index_t>(n - 2, 0);
+  if (log != nullptr) {
+    log->n = n;
+    log->b = b;
+    log->sweeps.assign(static_cast<std::size_t>(nsweeps), SweepReflectors{});
+  }
+  if (nsweeps == 0 || b <= 1) return;
+
+  const index_t done = n + 3 * b;  // completion sentinel (matches publish)
+  std::vector<std::atomic<index_t>> gcom(static_cast<std::size_t>(nsweeps));
+  for (auto& g : gcom) g.store(kNotStarted, std::memory_order_relaxed);
+
+  std::atomic<index_t> next_sweep{0};
+  const int nthreads = static_cast<int>(std::min<index_t>(
+      std::max(opts.threads, 1), nsweeps));
+  const index_t cap = opts.max_parallel_sweeps;
+
+  auto worker = [&] {
+    for (;;) {
+      const index_t i = next_sweep.fetch_add(1, std::memory_order_relaxed);
+      if (i >= nsweeps) return;
+
+      if (cap > 0 && i >= cap) {
+        // Law (3): at most `cap` sweeps in the pipeline — wait for sweep
+        // i - cap to drain before entering.
+        const auto& gate = gcom[static_cast<std::size_t>(i - cap)];
+        while (gate.load(std::memory_order_acquire) < done) {
+          std::this_thread::yield();
+        }
+      }
+
+      auto wait = [&](index_t s) {
+        if (i == 0) return;
+        const auto& pred = gcom[static_cast<std::size_t>(i - 1)];
+        // Paper Algorithm 2, line 5: spin while gCom[i] + 2b > gCom[i-1].
+        while (pred.load(std::memory_order_acquire) < s + 2 * b) {
+          std::this_thread::yield();
+        }
+      };
+      auto publish = [&](index_t s) {
+        gcom[static_cast<std::size_t>(i)].store(s, std::memory_order_release);
+      };
+
+      SweepReflectors* sl =
+          (log != nullptr) ? &log->sweeps[static_cast<std::size_t>(i)]
+                           : nullptr;
+      chase_sweep(acc, b, i, sl, wait, publish);
+      // chase_sweep's final publish(n + 3b) marks the sweep complete.
+    }
+  };
+
+  if (nthreads == 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace
+
+void chase_packed_parallel(SymBandMatrix& band, index_t b,
+                           const ParallelChaseOptions& opts, ChaseLog* log) {
+  TDG_CHECK(b >= 1, "chase_packed_parallel: bandwidth must be positive");
+  TDG_CHECK(band.kd() >= std::min(2 * b, band.n() - 1),
+            "chase_packed_parallel: storage bandwidth must be >= 2b");
+  PackedLowerAccessor acc{&band};
+  chase_all_parallel(acc, b, opts, log);
+}
+
+void chase_dense_parallel(MatrixView a, index_t b,
+                          const ParallelChaseOptions& opts, ChaseLog* log) {
+  TDG_CHECK(a.rows == a.cols, "chase_dense_parallel: matrix must be square");
+  TDG_CHECK(b >= 1, "chase_dense_parallel: bandwidth must be positive");
+  DenseLowerAccessor acc{a};
+  chase_all_parallel(acc, b, opts, log);
+}
+
+}  // namespace tdg::bc

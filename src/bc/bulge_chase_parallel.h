@@ -1,0 +1,38 @@
+// Pipelined multi-sweep bulge chasing — the paper's Algorithm 2.
+//
+// Sweep i+1 may run concurrently with sweep i as long as it stays >= 2b rows
+// behind (the paper's law (1): ~3 bulges of lag). Each worker publishes its
+// sweep's current block-step row in a progress flag (the `gCom` array of
+// Algorithm 2) and the successor spins until the dependency clears. On a GPU
+// the flag is a volatile array polled by thread blocks; here it is an
+// std::atomic<index_t> with release/acquire ordering and a yielding spin so
+// the protocol is livelock-free even on a single hardware thread.
+//
+// Because the dependency protocol enforces exactly the sequential order on
+// every pair of conflicting block steps, the pipelined chase produces
+// bitwise-identical output to the sequential chase (asserted in tests).
+#pragma once
+
+#include "bc/bulge_chase.h"
+
+namespace tdg::bc {
+
+struct ParallelChaseOptions {
+  /// Worker threads (>= 1). Values above the sweep count are clamped.
+  int threads = 4;
+  /// Maximum sweeps in flight (the S of the paper's Section 3.3 pipeline
+  /// model). 0 = bounded only by the thread count.
+  index_t max_parallel_sweeps = 0;
+};
+
+/// Pipelined chase on the packed (Fig.-10) layout. Same contract as
+/// chase_packed.
+void chase_packed_parallel(SymBandMatrix& band, index_t b,
+                           const ParallelChaseOptions& opts, ChaseLog* log);
+
+/// Pipelined chase on the dense-embedded (naive) layout. Same contract as
+/// chase_dense.
+void chase_dense_parallel(MatrixView a, index_t b,
+                          const ParallelChaseOptions& opts, ChaseLog* log);
+
+}  // namespace tdg::bc

@@ -1,0 +1,85 @@
+#include "bc/givens_sbtrd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tdg::bc {
+
+namespace {
+
+// Apply the similarity rotation G^T A G mixing adjacent indices (p, p+1),
+// where (c, s) was chosen to zero the pair's second component in column t.
+// Creates (and stores) the chase bulge at (p+b+1, p) when that row exists.
+void rotate_adjacent(SymBandMatrix& a, index_t b, index_t p, double c,
+                     double s) {
+  const index_t n = a.n();
+
+  // Rows (p, p+1) across earlier columns (band + bulge slot).
+  const index_t tlo = std::max<index_t>(0, p - b);
+  for (index_t tcol = tlo; tcol < p; ++tcol) {
+    const double x = a.at(p, tcol);
+    const double y = a.at(p + 1, tcol);
+    a.at(p, tcol) = c * x + s * y;
+    a.at(p + 1, tcol) = -s * x + c * y;
+  }
+
+  // Diagonal 2x2 block.
+  const double app = a.at(p, p);
+  const double aqq = a.at(p + 1, p + 1);
+  const double apq = a.at(p + 1, p);
+  a.at(p, p) = c * c * app + 2.0 * c * s * apq + s * s * aqq;
+  a.at(p + 1, p + 1) = s * s * app - 2.0 * c * s * apq + c * c * aqq;
+  a.at(p + 1, p) = c * s * (aqq - app) + (c * c - s * s) * apq;
+
+  // Columns (p, p+1) across later rows within the band.
+  const index_t rhi = std::min(p + b, n - 1);
+  for (index_t row = p + 2; row <= rhi; ++row) {
+    const double x = a.at(row, p);
+    const double y = a.at(row, p + 1);
+    a.at(row, p) = c * x + s * y;
+    a.at(row, p + 1) = -s * x + c * y;
+  }
+
+  // Fill-in: row p+b+1 had an entry only in column p+1 (band edge); the
+  // rotation smears it into column p at distance b+1 — the chase bulge.
+  const index_t rb = p + b + 1;
+  if (rb <= n - 1) {
+    const double y = a.at(rb, p + 1);
+    a.at(rb, p) = s * y;
+    a.at(rb, p + 1) = c * y;
+  }
+}
+
+}  // namespace
+
+void givens_sbtrd(SymBandMatrix& band, index_t b) {
+  const index_t n = band.n();
+  TDG_CHECK(b >= 1, "givens_sbtrd: bandwidth must be positive");
+  TDG_CHECK(band.kd() >= std::min(b + 1, n - 1),
+            "givens_sbtrd: storage bandwidth must be >= b + 1");
+  if (b <= 1 || n <= 2) return;
+
+  for (index_t j = 0; j + 2 < n; ++j) {
+    for (index_t d = std::min(b, n - 1 - j); d >= 2; --d) {
+      // Annihilate A(j+d, j), then chase the resulting bulge down.
+      index_t p = j + d - 1;
+      index_t t = j;
+      while (p + 1 <= n - 1) {
+        const double x = band.at(p, t);
+        const double y = band.at(p + 1, t);
+        if (y == 0.0) break;  // nothing to annihilate; chase over
+        const double r = std::hypot(x, y);
+        const double c = x / r;
+        const double s = y / r;
+        rotate_adjacent(band, b, p, c, s);
+        band.at(p, t) = r;
+        band.at(p + 1, t) = 0.0;
+        if (p + b + 1 > n - 1) break;  // no bulge was created
+        t = p;
+        p += b;
+      }
+    }
+  }
+}
+
+}  // namespace tdg::bc

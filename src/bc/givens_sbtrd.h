@@ -1,0 +1,24 @@
+// Givens-rotation band tridiagonalization (Schwarz's algorithm, the LAPACK
+// dsbtrd lineage) — the classical alternative to Householder bulge chasing.
+//
+// Each off-band element is annihilated by a rotation of two *adjacent*
+// rows/columns; the single fill-in element it creates at distance b+1 below
+// the diagonal is chased off the matrix at stride b. Storage therefore only
+// needs bandwidth b+1 (the Householder chase needs 2b), but the work is all
+// rank-1-sized rotations with no blocking — which is exactly why the
+// two-stage literature (and the paper) replaced it with length-b Householder
+// sweeps. Kept here as a baseline and as an independent cross-check of the
+// Householder chase (tests compare spectra).
+#pragma once
+
+#include <vector>
+
+#include "band/sym_band.h"
+
+namespace tdg::bc {
+
+/// Reduce the packed band matrix (logical bandwidth b) to tridiagonal form
+/// with Givens rotations. Requires band.kd() >= min(b + 1, n - 1).
+void givens_sbtrd(SymBandMatrix& band, index_t b);
+
+}  // namespace tdg::bc

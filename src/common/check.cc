@@ -1,0 +1,15 @@
+#include "common/check.h"
+
+#include <sstream>
+
+namespace tdg::detail {
+
+void check_failed(const char* cond, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "tdg check failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace tdg::detail

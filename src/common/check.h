@@ -1,0 +1,39 @@
+// Error handling for the tdg library.
+//
+// All public entry points validate their arguments with TDG_CHECK, which
+// throws tdg::Error (derived from std::runtime_error) carrying the failed
+// condition and source location. Internal invariants use TDG_ASSERT, which
+// compiles to nothing in release builds unless TDG_ENABLE_ASSERTS is set.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tdg {
+
+/// Exception thrown on any precondition or numerical-state violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* cond, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace tdg
+
+/// Validate a user-facing precondition; throws tdg::Error on failure.
+#define TDG_CHECK(cond, msg)                                            \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::tdg::detail::check_failed(#cond, __FILE__, __LINE__, (msg));    \
+    }                                                                   \
+  } while (0)
+
+#if defined(TDG_ENABLE_ASSERTS)
+#define TDG_ASSERT(cond) TDG_CHECK(cond, "internal invariant violated")
+#else
+#define TDG_ASSERT(cond) ((void)0)
+#endif

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation.
+//
+// A self-contained xoshiro256** generator so that test fixtures and
+// workload generators are reproducible across platforms and standard
+// library versions (std::mt19937 distributions are not portable).
+#pragma once
+
+#include <cstdint>
+
+namespace tdg {
+
+/// xoshiro256** PRNG with splitmix64 seeding.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (uses two uniforms per pair).
+  double normal();
+
+  /// Uniform integer in [0, n).
+  std::uint64_t bounded(std::uint64_t n);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace tdg

@@ -1,0 +1,111 @@
+#include "core/tridiag.h"
+
+#include <algorithm>
+
+#include "backtransform/backtransform.h"
+#include "bc/bulge_chase_parallel.h"
+#include "common/timer.h"
+#include "lapack/lapack.h"
+
+namespace tdg {
+
+namespace {
+
+TridiagResult tridiag_direct(ConstMatrixView a, const TridiagOptions& opts) {
+  TridiagResult r;
+  r.method = TridiagMethod::kDirect;
+  r.b = 1;
+
+  Matrix work(a.rows, a.cols);
+  copy(a, work.view());
+
+  WallTimer t;
+  lapack::sytrd(work.view(), r.d, r.e, r.direct_taus, opts.sytrd_nb);
+  r.seconds_stage1 = t.seconds();
+  if (opts.want_factors) {
+    r.direct_a = std::move(work);
+  }
+  return r;
+}
+
+TridiagResult tridiag_two_stage(ConstMatrixView a,
+                                const TridiagOptions& opts) {
+  const index_t n = a.rows;
+  TridiagResult r;
+  r.method = opts.method;
+
+  const index_t b = std::max<index_t>(1, std::min(opts.b, n - 1));
+  r.b = b;
+
+  Matrix work(n, n);
+  copy(a, work.view());
+
+  WallTimer t;
+  if (opts.method == TridiagMethod::kTwoStageDbbr) {
+    sbr::BandReductionOptions bo;
+    bo.b = b;
+    bo.k = std::max(b, (opts.k / b) * b);
+    bo.use_square_syr2k = opts.use_square_syr2k;
+    r.stage1 = sbr::dbbr(work.view(), bo);
+  } else {
+    sbr::BandReductionOptions bo;
+    bo.use_square_syr2k = opts.use_square_syr2k;
+    r.stage1 = sbr::sy2sb(work.view(), b, bo);
+  }
+  r.seconds_stage1 = t.seconds();
+
+  // Stage 2 on the packed (Fig.-10) band layout.
+  const index_t kd = std::min<index_t>(2 * b, n - 1);
+  SymBandMatrix band = extract_band(work.view(), b, kd);
+  bc::ChaseLog* log = opts.want_factors ? &r.stage2 : nullptr;
+
+  t.reset();
+  if (opts.parallel_bc && opts.method == TridiagMethod::kTwoStageDbbr) {
+    bc::ParallelChaseOptions po;
+    po.threads = opts.bc_threads;
+    po.max_parallel_sweeps = opts.max_parallel_sweeps;
+    bc::chase_packed_parallel(band, b, po, log);
+  } else {
+    bc::chase_packed(band, b, log);
+  }
+  r.seconds_stage2 = t.seconds();
+
+  bc::extract_tridiag(band, r.d, r.e);
+  return r;
+}
+
+}  // namespace
+
+TridiagResult tridiagonalize(ConstMatrixView a, const TridiagOptions& opts) {
+  TDG_CHECK(a.rows == a.cols, "tridiagonalize: matrix must be square");
+  TDG_CHECK(a.rows >= 1, "tridiagonalize: empty matrix");
+  if (a.rows == 1 || opts.method == TridiagMethod::kDirect) {
+    if (a.rows == 1) {
+      TridiagResult r;
+      r.method = TridiagMethod::kDirect;
+      r.b = 1;
+      r.d = {a(0, 0)};
+      r.direct_a = Matrix(1, 1);
+      return r;
+    }
+    return tridiag_direct(a, opts);
+  }
+  return tridiag_two_stage(a, opts);
+}
+
+void apply_q(const TridiagResult& r, MatrixView c, index_t bt_kw) {
+  if (r.method == TridiagMethod::kDirect) {
+    TDG_CHECK(r.direct_a.rows() == c.rows,
+              "apply_q: factors missing or size mismatch");
+    if (c.rows >= 3) {
+      lapack::apply_sytrd_q_left(r.direct_a.view(), r.direct_taus, c);
+    }
+    return;
+  }
+  TDG_CHECK(r.stage2.n == c.rows, "apply_q: factors missing or size mismatch");
+  // Q = Q1 Q2, so apply Q2 first, then Q1.
+  bc::apply_q2_left(r.stage2, c);
+  bt::apply_q1_blocked(r.stage1, bt_kw, c);
+}
+
+}  // namespace tdg

@@ -1,0 +1,72 @@
+// Public façade: symmetric tridiagonalization.
+//
+// Composes the stages exactly the way the paper's evaluation does:
+//   * kDirect   — one-stage blocked Householder (cuSOLVER Dsytrd analogue).
+//   * kTwoStageClassic — sy2sb (b-blocked SBR) + sequential bulge chasing
+//                 (MAGMA Dsy2sb + Dsb2st analogue; MAGMA's sb2st runs on the
+//                 CPU, our sequential chase is its stand-in).
+//   * kTwoStageDbbr — the paper's method: DBBR (Algorithm 1) + pipelined
+//                 parallel bulge chasing on the packed band (Algorithm 2).
+#pragma once
+
+#include <vector>
+
+#include "bc/bulge_chase.h"
+#include "la/matrix.h"
+#include "sbr/sbr.h"
+
+namespace tdg {
+
+enum class TridiagMethod {
+  kDirect,
+  kTwoStageClassic,
+  kTwoStageDbbr,
+};
+
+struct TridiagOptions {
+  TridiagMethod method = TridiagMethod::kTwoStageDbbr;
+  /// Band width for the two-stage methods (paper default: 64 for MAGMA,
+  /// 32 for DBBR).
+  index_t b = 32;
+  /// DBBR outer block / syr2k inner dimension (paper default: 1024).
+  index_t k = 256;
+  /// Panel width for the direct method.
+  index_t sytrd_nb = 64;
+  /// Use the paper's square-block syr2k for trailing updates.
+  bool use_square_syr2k = true;
+  /// Pipelined bulge chasing (Algorithm 2); false = sequential chase.
+  bool parallel_bc = true;
+  int bc_threads = 4;
+  /// Cap on in-flight sweeps (the model's S); 0 = thread-count bound.
+  index_t max_parallel_sweeps = 0;
+  /// Record reflectors so eigenvectors can be back-transformed.
+  bool want_factors = true;
+};
+
+struct TridiagResult {
+  std::vector<double> d;  // diagonal of T
+  std::vector<double> e;  // sub-diagonal of T
+  /// Effective band width used (clamped to n-1).
+  index_t b = 0;
+  TridiagMethod method = TridiagMethod::kTwoStageDbbr;
+
+  // Factors for back transformation (populated when want_factors):
+  sbr::BandFactor stage1;             // two-stage only
+  bc::ChaseLog stage2;                // two-stage only
+  Matrix direct_a;                    // direct only: reflectors in lower tri
+  std::vector<double> direct_taus;    // direct only
+
+  // Phase wall-clock (seconds), for benches/examples.
+  double seconds_stage1 = 0.0;  // SBR/DBBR, or the whole sytrd for kDirect
+  double seconds_stage2 = 0.0;  // bulge chasing
+};
+
+/// Reduce symmetric `a` (lower triangle read) to tridiagonal form.
+TridiagResult tridiagonalize(ConstMatrixView a, const TridiagOptions& opts);
+
+/// Apply the accumulated orthogonal factor: c <- Q c where A = Q T Q^T.
+/// Requires the result to have been computed with want_factors = true.
+/// `bt_kw`: group width for the stage-1 blocked back transformation.
+void apply_q(const TridiagResult& r, MatrixView c, index_t bt_kw = 256);
+
+}  // namespace tdg

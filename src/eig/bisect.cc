@@ -1,0 +1,184 @@
+#include "eig/bisect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "la/blas.h"
+
+namespace tdg::eig {
+
+index_t sturm_count(const std::vector<double>& d, const std::vector<double>& e,
+                    double x) {
+  const index_t n = static_cast<index_t>(d.size());
+  const double safe = std::numeric_limits<double>::min();
+  index_t count = 0;
+  double q = 1.0;
+  for (index_t i = 0; i < n; ++i) {
+    const double esq =
+        (i > 0) ? e[static_cast<std::size_t>(i - 1)] *
+                      e[static_cast<std::size_t>(i - 1)]
+                : 0.0;
+    q = d[static_cast<std::size_t>(i)] - x - ((i > 0) ? esq / q : 0.0);
+    if (std::abs(q) < safe) q = -safe;  // pivot guard: treat as negative
+    if (q < 0.0) ++count;
+  }
+  return count;
+}
+
+std::vector<double> eigenvalues_bisect(const std::vector<double>& d,
+                                       const std::vector<double>& e,
+                                       index_t il, index_t iu) {
+  const index_t n = static_cast<index_t>(d.size());
+  TDG_CHECK(n >= 1 && e.size() + 1 >= d.size(), "eigenvalues_bisect: sizes");
+  TDG_CHECK(0 <= il && il <= iu && iu < n, "eigenvalues_bisect: bad range");
+
+  // Gershgorin bounds.
+  double lo = d[0], hi = d[0];
+  for (index_t i = 0; i < n; ++i) {
+    const double r =
+        ((i > 0) ? std::abs(e[static_cast<std::size_t>(i - 1)]) : 0.0) +
+        ((i + 1 < n) ? std::abs(e[static_cast<std::size_t>(i)]) : 0.0);
+    lo = std::min(lo, d[static_cast<std::size_t>(i)] - r);
+    hi = std::max(hi, d[static_cast<std::size_t>(i)] + r);
+  }
+  const double span = std::max(hi - lo, 1e-300);
+  lo -= 1e-12 * span;
+  hi += 1e-12 * span;
+
+  std::vector<double> vals;
+  vals.reserve(static_cast<std::size_t>(iu - il + 1));
+  for (index_t idx = il; idx <= iu; ++idx) {
+    // Bisection: find x with count(x) <= idx < count at upper end —
+    // eigenvalue #idx (0-based) is the sup of {x : count(x) <= idx}.
+    double a = lo, b = hi;
+    for (int it = 0; it < 200; ++it) {
+      const double mid = 0.5 * (a + b);
+      if (mid == a || mid == b) break;
+      if (sturm_count(d, e, mid) <= idx) {
+        a = mid;
+      } else {
+        b = mid;
+      }
+    }
+    vals.push_back(0.5 * (a + b));
+  }
+  return vals;
+}
+
+void inverse_iteration(const std::vector<double>& d,
+                       const std::vector<double>& e,
+                       const std::vector<double>& values, MatrixView z) {
+  const index_t n = static_cast<index_t>(d.size());
+  const index_t k = static_cast<index_t>(values.size());
+  TDG_CHECK(z.rows == n && z.cols == k, "inverse_iteration: z shape");
+  const double eps = std::numeric_limits<double>::epsilon();
+
+  double tnorm = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    tnorm = std::max(tnorm, std::abs(d[static_cast<std::size_t>(i)]));
+    if (i + 1 < n) tnorm = std::max(tnorm, std::abs(e[static_cast<std::size_t>(i)]));
+  }
+  const double pert = std::max(tnorm, 1.0) * eps;
+
+  // Workspace for the LU factors of (T - lambda I) with partial pivoting
+  // (three factor diagonals + pivot flags), Thomas-style.
+  std::vector<double> du1(static_cast<std::size_t>(n)),
+      du2(static_cast<std::size_t>(n)), dl(static_cast<std::size_t>(n)),
+      diag(static_cast<std::size_t>(n)), x(static_cast<std::size_t>(n));
+  std::vector<char> swapped(static_cast<std::size_t>(n));
+  Rng rng(0x5eedu);
+
+  for (index_t j = 0; j < k; ++j) {
+    // Perturb the shift slightly so exactly-singular systems stay solvable
+    // and clustered values get distinct shifts.
+    const double lambda = values[static_cast<std::size_t>(j)] +
+                          pert * static_cast<double>(j % 3);
+
+    // LU of (T - lambda I) with partial pivoting.
+    for (index_t i = 0; i < n; ++i) {
+      diag[static_cast<std::size_t>(i)] =
+          d[static_cast<std::size_t>(i)] - lambda;
+      du1[static_cast<std::size_t>(i)] =
+          (i + 1 < n) ? e[static_cast<std::size_t>(i)] : 0.0;
+      dl[static_cast<std::size_t>(i)] =
+          (i + 1 < n) ? e[static_cast<std::size_t>(i)] : 0.0;
+      du2[static_cast<std::size_t>(i)] = 0.0;
+    }
+    for (index_t i = 0; i + 1 < n; ++i) {
+      double* di = &diag[static_cast<std::size_t>(i)];
+      double* dn = &diag[static_cast<std::size_t>(i + 1)];
+      double* u1 = &du1[static_cast<std::size_t>(i)];
+      const double sub = dl[static_cast<std::size_t>(i)];
+      if (std::abs(*di) >= std::abs(sub)) {
+        swapped[static_cast<std::size_t>(i)] = 0;
+        if (*di == 0.0) *di = pert;
+        const double m = sub / *di;
+        dl[static_cast<std::size_t>(i)] = m;  // store multiplier
+        *dn -= m * *u1;
+      } else {
+        swapped[static_cast<std::size_t>(i)] = 1;
+        const double m = *di / sub;
+        dl[static_cast<std::size_t>(i)] = m;
+        // Swap rows i and i+1 of the factorisation.
+        *di = sub;
+        const double tmp = *u1;
+        *u1 = *dn;
+        du2[static_cast<std::size_t>(i)] =
+            (i + 2 < n) ? du1[static_cast<std::size_t>(i + 1)] : 0.0;
+        *dn = tmp - m * *u1;
+        if (i + 2 < n) {
+          du1[static_cast<std::size_t>(i + 1)] =
+              -m * du2[static_cast<std::size_t>(i)];
+        }
+      }
+    }
+    if (diag[static_cast<std::size_t>(n - 1)] == 0.0) {
+      diag[static_cast<std::size_t>(n - 1)] = pert;
+    }
+
+    // Start from a random vector; two inverse-iteration solves suffice.
+    for (index_t i = 0; i < n; ++i)
+      x[static_cast<std::size_t>(i)] = rng.uniform(-0.5, 0.5);
+    for (int iter = 0; iter < 3; ++iter) {
+      // Forward substitution (respecting pivoting swaps).
+      for (index_t i = 0; i + 1 < n; ++i) {
+        const double m = dl[static_cast<std::size_t>(i)];
+        if (swapped[static_cast<std::size_t>(i)]) {
+          std::swap(x[static_cast<std::size_t>(i)],
+                    x[static_cast<std::size_t>(i + 1)]);
+        }
+        x[static_cast<std::size_t>(i + 1)] -= m * x[static_cast<std::size_t>(i)];
+      }
+      // Back substitution with the 3-diagonal U.
+      for (index_t i = n - 1; i >= 0; --i) {
+        double s = x[static_cast<std::size_t>(i)];
+        if (i + 1 < n) s -= du1[static_cast<std::size_t>(i)] *
+                             x[static_cast<std::size_t>(i + 1)];
+        if (i + 2 < n) s -= du2[static_cast<std::size_t>(i)] *
+                             x[static_cast<std::size_t>(i + 2)];
+        x[static_cast<std::size_t>(i)] = s / diag[static_cast<std::size_t>(i)];
+        if (i == 0) break;
+      }
+      const double nrm = la::nrm2(n, x.data());
+      if (nrm > 0.0) la::scal(n, 1.0 / nrm, x.data());
+    }
+
+    // Re-orthogonalise against earlier vectors of the same cluster.
+    for (index_t p = j - 1; p >= 0; --p) {
+      const double gap = std::abs(values[static_cast<std::size_t>(j)] -
+                                  values[static_cast<std::size_t>(p)]);
+      if (gap > 1e-3 * std::max(tnorm, 1.0)) break;
+      const double proj = la::dot(n, z.col(p), x.data());
+      la::axpy(n, -proj, z.col(p), x.data());
+      if (p == 0) break;
+    }
+    const double nrm = la::nrm2(n, x.data());
+    if (nrm > 0.0) la::scal(n, 1.0 / nrm, x.data());
+    for (index_t i = 0; i < n; ++i) z(i, j) = x[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace tdg::eig

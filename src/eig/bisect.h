@@ -1,0 +1,36 @@
+// Subset eigensolver for symmetric tridiagonal matrices: Sturm-sequence
+// bisection for eigenvalues by index range (LAPACK stebz lineage) and
+// inverse iteration for the matching eigenvectors (stein lineage).
+//
+// Combined with the two-stage tridiagonalization this gives the classic
+// "k eigenpairs of a dense symmetric matrix" driver (eigh_range in
+// drivers.h): the expensive back transformations then run on k columns
+// instead of n, which matters precisely because the paper shows the
+// eigenvector path is dominated by back-transform cost.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace tdg::eig {
+
+/// Number of eigenvalues of the tridiagonal T(d, e) strictly below x
+/// (Sturm count via the LDL^T sign recurrence with pivot safeguarding).
+index_t sturm_count(const std::vector<double>& d, const std::vector<double>& e,
+                    double x);
+
+/// Eigenvalues with indices [il, iu] (0-based, ascending, inclusive) by
+/// bisection to ~machine precision. Requires 0 <= il <= iu < n.
+std::vector<double> eigenvalues_bisect(const std::vector<double>& d,
+                                       const std::vector<double>& e,
+                                       index_t il, index_t iu);
+
+/// Inverse-iteration eigenvectors of T(d, e) for the given eigenvalues
+/// (ascending). Vectors within a numerically close cluster are
+/// re-orthogonalised. z must be n x values.size().
+void inverse_iteration(const std::vector<double>& d,
+                       const std::vector<double>& e,
+                       const std::vector<double>& values, MatrixView z);
+
+}  // namespace tdg::eig

@@ -1,0 +1,86 @@
+#include "eig/drivers.h"
+
+#include "common/timer.h"
+#include "eig/bisect.h"
+#include "eig/eig.h"
+
+namespace tdg::eig {
+
+EvdResult eigh(ConstMatrixView a, const EvdOptions& opts) {
+  TDG_CHECK(a.rows == a.cols, "eigh: matrix must be square");
+  const index_t n = a.rows;
+  EvdResult res;
+  if (n == 0) return res;
+
+  TridiagOptions topts = opts.tridiag;
+  topts.want_factors = opts.vectors;
+
+  WallTimer t;
+  TridiagResult tri = tridiagonalize(a, topts);
+  res.seconds_tridiag = t.seconds();
+
+  res.eigenvalues = tri.d;
+  std::vector<double> e = tri.e;
+
+  if (!opts.vectors) {
+    t.reset();
+    // Values only: implicit QL without vector accumulation is the cheapest
+    // (this is also what the paper's "w/o vectors" path amounts to).
+    steqr(res.eigenvalues, e, nullptr);
+    res.seconds_solver = t.seconds();
+    return res;
+  }
+
+  // Eigenvectors of the tridiagonal T.
+  t.reset();
+  Matrix z(n, n);
+  if (opts.solver == TridiagSolver::kDivideConquer) {
+    stedc(res.eigenvalues, e, z.view(), opts.smlsiz);
+  } else {
+    z = Matrix::identity(n);
+    MatrixView zv = z.view();
+    steqr(res.eigenvalues, e, &zv);
+  }
+  res.seconds_solver = t.seconds();
+
+  // Back-transform into eigenvectors of A: V = Q * Z.
+  t.reset();
+  apply_q(tri, z.view(), opts.bt_kw);
+  res.seconds_backtransform = t.seconds();
+  res.eigenvectors = std::move(z);
+  return res;
+}
+
+EvdResult eigh_range(ConstMatrixView a, index_t il, index_t iu,
+                     const EvdOptions& opts) {
+  TDG_CHECK(a.rows == a.cols, "eigh_range: matrix must be square");
+  const index_t n = a.rows;
+  TDG_CHECK(0 <= il && il <= iu && iu < n, "eigh_range: bad index range");
+
+  TridiagOptions topts = opts.tridiag;
+  topts.want_factors = opts.vectors;
+
+  EvdResult res;
+  WallTimer t;
+  TridiagResult tri = tridiagonalize(a, topts);
+  res.seconds_tridiag = t.seconds();
+
+  t.reset();
+  res.eigenvalues = eigenvalues_bisect(tri.d, tri.e, il, iu);
+  if (opts.vectors) {
+    const index_t k = iu - il + 1;
+    Matrix z(n, k);
+    inverse_iteration(tri.d, tri.e, res.eigenvalues, z.view());
+    res.seconds_solver = t.seconds();
+
+    t.reset();
+    apply_q(tri, z.view(), opts.bt_kw);  // only k columns back-transformed
+    res.seconds_backtransform = t.seconds();
+    res.eigenvectors = std::move(z);
+  } else {
+    res.seconds_solver = t.seconds();
+  }
+  return res;
+}
+
+}  // namespace tdg::eig

@@ -1,0 +1,49 @@
+// End-to-end symmetric eigenvalue decomposition drivers.
+//
+// eigh() mirrors the paper's Figure 16 pipelines: tridiagonalize (direct,
+// classic two-stage, or DBBR + GPU-style bulge chasing), solve the
+// tridiagonal problem (divide & conquer, or implicit QL), and — when
+// eigenvectors are requested — back-transform through Q2 (bulge chasing)
+// and Q1 (band reduction).
+#pragma once
+
+#include <vector>
+
+#include "core/tridiag.h"
+#include "la/matrix.h"
+
+namespace tdg::eig {
+
+enum class TridiagSolver {
+  kDivideConquer,  // stedc — the paper composes with MAGMA's D&C
+  kImplicitQl,     // steqr
+};
+
+struct EvdOptions {
+  bool vectors = true;
+  TridiagOptions tridiag;  // which tridiagonalization pipeline to run
+  TridiagSolver solver = TridiagSolver::kDivideConquer;
+  index_t smlsiz = 32;   // D&C base-case size
+  index_t bt_kw = 256;   // stage-1 back-transform group width
+};
+
+struct EvdResult {
+  std::vector<double> eigenvalues;  // ascending
+  Matrix eigenvectors;              // n x n, column j for eigenvalue j
+                                    // (empty when vectors == false)
+  double seconds_tridiag = 0.0;
+  double seconds_solver = 0.0;
+  double seconds_backtransform = 0.0;
+};
+
+/// Full symmetric EVD of `a` (lower triangle read): A = V diag(w) V^T.
+EvdResult eigh(ConstMatrixView a, const EvdOptions& opts = {});
+
+/// Subset EVD: eigenpairs with 0-based ascending indices [il, iu]
+/// (inclusive). Eigenvalues come from Sturm bisection, eigenvectors from
+/// inverse iteration, and — the point of the exercise — the expensive Q2/Q1
+/// back transformations only touch iu-il+1 columns instead of n.
+EvdResult eigh_range(ConstMatrixView a, index_t il, index_t iu,
+                     const EvdOptions& opts = {});
+
+}  // namespace tdg::eig

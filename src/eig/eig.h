@@ -1,0 +1,37 @@
+// Tridiagonal eigensolvers and symmetric EVD drivers.
+//
+// Two tridiagonal kernels, mirroring what cuSOLVER/MAGMA compose with:
+//  * steqr — implicit QL with Wilkinson shift (EISPACK tql2 lineage).
+//    O(n^2) for values, O(n^3) with vectors; used standalone as a baseline
+//    and as the divide & conquer base case.
+//  * stedc — Cuppen's divide & conquer: recursive split, rank-one merge via
+//    the secular equation with Gu–Eisenstat z-recomputation, and the usual
+//    two-level deflation (tiny z components; nearly equal poles).
+//
+// EVD drivers combining the pieces of the paper's pipeline are in
+// drivers.h/cc (eigh_direct, eigh_2stage).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace tdg::eig {
+
+/// Implicit-QL eigensolver for a symmetric tridiagonal matrix.
+/// d (size n): diagonal in, eigenvalues (ascending) out.
+/// e (size n-1): sub-diagonal in, destroyed.
+/// z: if non-null, must hold n rows; the accumulated rotations are applied
+/// from the right, so passing the identity yields the eigenvectors of T,
+/// and passing Q yields Q * (eigenvectors of T). Columns are permuted along
+/// with the eigenvalue sort.
+/// Throws tdg::Error if an eigenvalue fails to converge in 50 sweeps.
+void steqr(std::vector<double>& d, std::vector<double>& e, MatrixView* z);
+
+/// Divide & conquer eigensolver for a symmetric tridiagonal matrix.
+/// d/e as in steqr. On return `q` (n x n) holds the eigenvectors of T.
+/// `smlsiz`: subproblems at or below this size use steqr.
+void stedc(std::vector<double>& d, std::vector<double>& e, MatrixView q,
+           index_t smlsiz = 32);
+
+}  // namespace tdg::eig

@@ -1,0 +1,168 @@
+#include "eig/secular.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace tdg::eig {
+
+namespace {
+
+// f(d[base] + mu) evaluated in the shifted variable:
+// g(mu) = 1 + rho * sum_i z_i^2 / ((d_i - d_base) - mu).
+// Also returns g'(mu) = rho * sum_i z_i^2 / ((d_i - d_base) - mu)^2 > 0.
+struct Eval {
+  double g;
+  double dg;
+};
+
+Eval eval_secular(const std::vector<double>& d, const std::vector<double>& z,
+                  double rho, index_t base, double mu) {
+  const double dbase = d[static_cast<std::size_t>(base)];
+  double g = 1.0;
+  double dg = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double delta = (d[i] - dbase) - mu;
+    const double t = z[i] / delta;
+    g += rho * z[i] * t;
+    dg += rho * t * t;
+  }
+  return {g, dg};
+}
+
+// Find the root in the open mu-interval (lo, hi) relative to `base`, where
+// g(lo+) and g(hi-) have opposite signs by construction. Bisection brackets,
+// then safeguarded Newton polishes to machine relative accuracy.
+double solve_in_interval(const std::vector<double>& d,
+                         const std::vector<double>& z, double rho,
+                         index_t base, double lo, double hi) {
+  double mu = 0.5 * (lo + hi);
+  // Bisection: g is strictly increasing in mu (all denominators' derivative
+  // contributions positive), g(lo+) = -inf side or finite negative, g(hi-)
+  // positive. Maintain the invariant g(lo) < 0 < g(hi).
+  for (int it = 0; it < 80; ++it) {
+    const Eval ev = eval_secular(d, z, rho, base, mu);
+    if (ev.g == 0.0) return mu;
+    if (ev.g < 0.0) {
+      lo = mu;
+    } else {
+      hi = mu;
+    }
+    const double next = 0.5 * (lo + hi);
+    if (next == mu || next <= lo || next >= hi) break;
+    mu = next;
+  }
+  // Newton polish with interval safeguard.
+  for (int it = 0; it < 8; ++it) {
+    const Eval ev = eval_secular(d, z, rho, base, mu);
+    if (ev.dg == 0.0) break;
+    double step = -ev.g / ev.dg;
+    double next = mu + step;
+    if (!(next > lo) || !(next < hi)) break;  // out of bracket: keep bisection
+    if (next == mu) break;
+    mu = next;
+  }
+  return mu;
+}
+
+}  // namespace
+
+std::vector<SecularRoot> solve_secular(const std::vector<double>& d,
+                                       const std::vector<double>& z,
+                                       double rho) {
+  const index_t k = static_cast<index_t>(d.size());
+  TDG_CHECK(k >= 1 && z.size() == d.size(), "solve_secular: size mismatch");
+  TDG_CHECK(rho > 0.0, "solve_secular: rho must be positive");
+  for (index_t i = 0; i + 1 < k; ++i) {
+    TDG_CHECK(d[static_cast<std::size_t>(i)] < d[static_cast<std::size_t>(i + 1)],
+              "solve_secular: poles must be strictly increasing");
+  }
+
+  double zz = 0.0;
+  for (double zi : z) zz += zi * zi;
+
+  std::vector<SecularRoot> roots(static_cast<std::size_t>(k));
+
+  for (index_t j = 0; j < k; ++j) {
+    if (j + 1 < k) {
+      // Interior root in (d_j, d_{j+1}). Choose the shift origin by the sign
+      // of f at the midpoint: f(mid) > 0 means the root is in the left half
+      // (closer to d_j), otherwise the right half (closer to d_{j+1}).
+      const double gap =
+          d[static_cast<std::size_t>(j + 1)] - d[static_cast<std::size_t>(j)];
+      const Eval mid = eval_secular(d, z, rho, j, 0.5 * gap);
+      index_t base;
+      double lo;
+      double hi;
+      if (mid.g >= 0.0) {
+        base = j;
+        lo = 0.0;
+        hi = 0.5 * gap;
+      } else {
+        base = j + 1;
+        lo = -0.5 * gap;
+        hi = 0.0;
+      }
+      const double mu = solve_in_interval(d, z, rho, base, lo, hi);
+      roots[static_cast<std::size_t>(j)] = {
+          d[static_cast<std::size_t>(base)] + mu, mu, base};
+    } else {
+      // Last root in (d_{k-1}, d_{k-1} + rho * z^T z).
+      double hi = rho * zz;
+      // Ensure the bracket's upper end has g > 0 (it does analytically; the
+      // loop guards against roundoff at the boundary).
+      while (eval_secular(d, z, rho, k - 1, hi).g <= 0.0) hi *= 2.0;
+      const double mu = solve_in_interval(d, z, rho, k - 1, 0.0, hi);
+      roots[static_cast<std::size_t>(k - 1)] = {
+          d[static_cast<std::size_t>(k - 1)] + mu, mu, k - 1};
+    }
+  }
+  return roots;
+}
+
+std::vector<double> recompute_z(const std::vector<double>& d,
+                                const std::vector<double>& z, double rho,
+                                const std::vector<SecularRoot>& roots) {
+  const index_t k = static_cast<index_t>(d.size());
+  std::vector<double> zhat(static_cast<std::size_t>(k));
+  for (index_t i = 0; i < k; ++i) {
+    // From the characteristic polynomial of D + rho z z^T evaluated at d_i:
+    // zhat_i^2 = prod_j (lambda_j - d_i) / (rho * prod_{j != i} (d_j - d_i)),
+    // evaluated as O(1)-magnitude ratio pairs for stability.
+    double prod = pole_minus_root(d, roots[static_cast<std::size_t>(i)], i) *
+                  -1.0 / rho;  // (lambda_i - d_i) / rho
+    for (index_t j = 0; j < k; ++j) {
+      if (j == i) continue;
+      const double num =
+          -pole_minus_root(d, roots[static_cast<std::size_t>(j)], i);
+      const double den =
+          d[static_cast<std::size_t>(j)] - d[static_cast<std::size_t>(i)];
+      prod *= num / den;
+    }
+    // Roundoff can push prod slightly negative when z_i is tiny.
+    prod = std::max(prod, 0.0);
+    zhat[static_cast<std::size_t>(i)] =
+        std::copysign(std::sqrt(prod), z[static_cast<std::size_t>(i)]);
+  }
+  return zhat;
+}
+
+void secular_eigenvector(const std::vector<double>& d,
+                         const std::vector<double>& zhat,
+                         const std::vector<SecularRoot>& roots, index_t j,
+                         double* v) {
+  const index_t k = static_cast<index_t>(d.size());
+  double norm2 = 0.0;
+  for (index_t i = 0; i < k; ++i) {
+    const double diff = pole_minus_root(d, roots[static_cast<std::size_t>(j)], i);
+    const double vi = zhat[static_cast<std::size_t>(i)] / diff;
+    v[i] = vi;
+    norm2 += vi * vi;
+  }
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (index_t i = 0; i < k; ++i) v[i] *= inv;
+}
+
+}  // namespace tdg::eig

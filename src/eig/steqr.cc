@@ -1,0 +1,115 @@
+// Implicit QL with Wilkinson shift (EISPACK tql2 / LAPACK dsteqr lineage).
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "eig/eig.h"
+
+namespace tdg::eig {
+
+namespace {
+
+void apply_rotation(MatrixView z, index_t i, double c, double s) {
+  // Right-multiply columns (i, i+1) by the rotation [c -s; s c]... in the
+  // tql2 accumulation convention used below.
+  for (index_t r = 0; r < z.rows; ++r) {
+    const double f = z(r, i + 1);
+    z(r, i + 1) = s * z(r, i) + c * f;
+    z(r, i) = c * z(r, i) - s * f;
+  }
+}
+
+}  // namespace
+
+void steqr(std::vector<double>& d, std::vector<double>& e, MatrixView* z) {
+  const index_t n = static_cast<index_t>(d.size());
+  TDG_CHECK(static_cast<index_t>(e.size()) >= std::max<index_t>(n - 1, 0),
+            "steqr: e must have n-1 entries");
+  if (z != nullptr) {
+    TDG_CHECK(z->rows >= 1 && z->cols == n, "steqr: z must have n columns");
+  }
+  if (n == 0) return;
+
+  constexpr int kMaxIter = 50;
+  const double eps = std::numeric_limits<double>::epsilon();
+  e.resize(static_cast<std::size_t>(n), 0.0);
+  e[static_cast<std::size_t>(n - 1)] = 0.0;
+
+  for (index_t l = 0; l < n; ++l) {
+    int iter = 0;
+    index_t m;
+    do {
+      // Look for a negligible off-diagonal to split the problem.
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[static_cast<std::size_t>(m)]) +
+                          std::abs(d[static_cast<std::size_t>(m + 1)]);
+        if (std::abs(e[static_cast<std::size_t>(m)]) <= eps * dd) break;
+      }
+      if (m == l) break;
+      TDG_CHECK(++iter <= kMaxIter, "steqr: eigenvalue failed to converge");
+
+      // Wilkinson shift from the leading 2x2.
+      double g = (d[static_cast<std::size_t>(l + 1)] -
+                  d[static_cast<std::size_t>(l)]) /
+                 (2.0 * e[static_cast<std::size_t>(l)]);
+      double r = std::hypot(g, 1.0);
+      g = d[static_cast<std::size_t>(m)] - d[static_cast<std::size_t>(l)] +
+          e[static_cast<std::size_t>(l)] / (g + std::copysign(r, g));
+      double s = 1.0;
+      double c = 1.0;
+      double p = 0.0;
+
+      bool underflow = false;
+      for (index_t i = m - 1; i >= l; --i) {
+        double f = s * e[static_cast<std::size_t>(i)];
+        const double b = c * e[static_cast<std::size_t>(i)];
+        r = std::hypot(f, g);
+        e[static_cast<std::size_t>(i + 1)] = r;
+        if (r == 0.0) {
+          // Recover from underflow: split the matrix.
+          d[static_cast<std::size_t>(i + 1)] -= p;
+          e[static_cast<std::size_t>(m)] = 0.0;
+          underflow = true;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = d[static_cast<std::size_t>(i + 1)] - p;
+        r = (d[static_cast<std::size_t>(i)] - g) * s + 2.0 * c * b;
+        p = s * r;
+        d[static_cast<std::size_t>(i + 1)] = g + p;
+        g = c * r - b;
+        if (z != nullptr) apply_rotation(*z, i, c, s);
+        if (i == l) break;  // index_t may be signed but avoid i-- past l
+      }
+      if (underflow) continue;
+      d[static_cast<std::size_t>(l)] -= p;
+      e[static_cast<std::size_t>(l)] = g;
+      e[static_cast<std::size_t>(m)] = 0.0;
+    } while (m != l);
+  }
+
+  // Sort ascending, permuting eigenvector columns along (selection sort,
+  // O(n^2) comparisons but only n column swaps).
+  for (index_t i = 0; i + 1 < n; ++i) {
+    index_t kmin = i;
+    for (index_t j = i + 1; j < n; ++j) {
+      if (d[static_cast<std::size_t>(j)] < d[static_cast<std::size_t>(kmin)])
+        kmin = j;
+    }
+    if (kmin != i) {
+      std::swap(d[static_cast<std::size_t>(i)],
+                d[static_cast<std::size_t>(kmin)]);
+      if (z != nullptr) {
+        for (index_t r = 0; r < z->rows; ++r) {
+          std::swap((*z)(r, i), (*z)(r, kmin));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tdg::eig

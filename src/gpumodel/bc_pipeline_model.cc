@@ -1,0 +1,151 @@
+#include "gpumodel/bc_pipeline_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tdg::gpumodel {
+
+double bc_cycles_closed_form(index_t n, index_t b, index_t s) {
+  TDG_CHECK(n >= 2 && b >= 1 && s >= 1, "bc_cycles_closed_form: bad args");
+  const double nd = static_cast<double>(n);
+  const double bd = static_cast<double>(b);
+  const double sd = static_cast<double>(s);
+
+  const double successive = 3.0 * nd - 2.0;
+  // Paper: sum_{i=1}^{U} ((n+S)/b - 3S + 3 - (S/b) i), U = (n+3b)/S - 3b.
+  const double u = std::floor((nd + 3.0 * bd) / sd - 3.0 * bd);
+  if (u < 1.0) return successive;
+  double stalls = u * ((nd + sd) / bd - 3.0 * sd + 3.0) -
+                  (sd / bd) * u * (u + 1.0) / 2.0;
+  stalls = std::max(stalls, 0.0);
+  return successive + stalls;
+}
+
+BcPipelineStats bc_simulate(index_t n, index_t b, index_t s) {
+  TDG_CHECK(n >= 2 && b >= 1, "bc_simulate: bad args");
+  const index_t nsweeps = n - 2;
+  BcPipelineStats st;
+  if (nsweeps <= 0) return st;
+  if (s <= 0) s = nsweeps;
+
+  // Bulges (block steps) per sweep: law (2).
+  std::vector<std::int64_t> bulges(static_cast<std::size_t>(nsweeps));
+  for (index_t i = 0; i < nsweeps; ++i) {
+    bulges[static_cast<std::size_t>(i)] = (n - i + b - 1) / b;
+  }
+  std::vector<std::int64_t> progress(static_cast<std::size_t>(nsweeps), 0);
+
+  std::vector<index_t> active;
+  active.reserve(static_cast<std::size_t>(s));
+  index_t next = 0;
+  double cycles = 0.0;
+  double busy = 0.0;
+
+  auto pred_allows = [&](index_t i) {
+    if (i == 0) return true;
+    const index_t p = i - 1;
+    if (progress[static_cast<std::size_t>(p)] >=
+        bulges[static_cast<std::size_t>(p)]) {
+      return true;  // predecessor finished
+    }
+    // Law (1): stay >= 3 bulges behind the predecessor.
+    return progress[static_cast<std::size_t>(p)] >=
+           progress[static_cast<std::size_t>(i)] + 3;
+  };
+
+  while (next < nsweeps || !active.empty()) {
+    // Law (3): admit sweeps while pipeline slots are free.
+    while (next < nsweeps && static_cast<index_t>(active.size()) < s &&
+           pred_allows(next)) {
+      active.push_back(next);
+      ++next;
+    }
+    ++cycles;
+    // Advance each in-flight sweep one bulge where the dependency permits.
+    // Active sweeps are kept in ascending order, so tracking the
+    // predecessor's pre-update value makes the cycle behave as if all
+    // decisions were taken against a start-of-cycle snapshot.
+    index_t prev_id = -1;
+    std::int64_t prev_before = 0;
+    for (index_t i : active) {
+      const std::int64_t mine_before = progress[static_cast<std::size_t>(i)];
+      bool ok;
+      if (i == 0) {
+        ok = true;
+      } else if (progress[static_cast<std::size_t>(i - 1)] >=
+                     bulges[static_cast<std::size_t>(i - 1)] &&
+                 prev_id != i - 1) {
+        ok = true;  // predecessor finished (and inactive)
+      } else {
+        const std::int64_t pred_before =
+            (prev_id == i - 1) ? prev_before
+                               : progress[static_cast<std::size_t>(i - 1)];
+        ok = pred_before >= mine_before + 3 ||
+             pred_before >= bulges[static_cast<std::size_t>(i - 1)];
+      }
+      if (ok) {
+        ++progress[static_cast<std::size_t>(i)];
+        busy += 1.0;
+      }
+      prev_id = i;
+      prev_before = mine_before;
+    }
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](index_t i) {
+                                  return progress[static_cast<std::size_t>(
+                                             i)] >=
+                                         bulges[static_cast<std::size_t>(i)];
+                                }),
+                 active.end());
+  }
+
+  st.cycles = cycles;
+  st.busy_steps = busy;
+  st.avg_parallel = (cycles > 0.0) ? busy / cycles : 0.0;
+  return st;
+}
+
+double bc_step_seconds(const DeviceSpec& spec, index_t b) {
+  const double scale = static_cast<double>(b) / 32.0;
+  return spec.bc_step_us_b32 * 1e-6 * scale * scale;
+}
+
+double bc_gpu_seconds(const DeviceSpec& spec, index_t n, index_t b, index_t s,
+                      bool use_simulation) {
+  const double cycles = use_simulation
+                            ? bc_simulate(n, b, s).cycles
+                            : bc_cycles_closed_form(n, b, s);
+  return cycles * bc_step_seconds(spec, b);
+}
+
+double bc_memory_throughput_gbs(const DeviceSpec& spec, index_t n, index_t b,
+                                index_t s) {
+  const BcPipelineStats st = bc_simulate(n, b, s);
+  // One block step touches ~3 blocks of b x b doubles (B_d, B_ol, B_od).
+  const double bytes_per_step = 3.0 * static_cast<double>(b) * b * 8.0;
+  const double raw =
+      st.avg_parallel * bytes_per_step / bc_step_seconds(spec, b) / 1e9;
+  return std::min(raw, spec.dram_gbs);
+}
+
+double bc_gpu_naive_seconds(const DeviceSpec& spec, index_t n, index_t b) {
+  constexpr double kDenseLayoutPenalty = 1.2;  // strided L2-missing accesses
+  return bc_gpu_seconds(spec, n, b, spec.sm_count) * kDenseLayoutPenalty;
+}
+
+double bc_gpu_optimized_seconds(const DeviceSpec& spec, index_t n, index_t b) {
+  return bc_gpu_seconds(spec, n, b, 2 * spec.sm_count);
+}
+
+double magma_sb2st_seconds(index_t n, index_t b) {
+  // ~6*b*n^2 flops at the calibrated CPU rate.
+  const double flops =
+      6.0 * static_cast<double>(b) * static_cast<double>(n) * n;
+  return flops / (cpu_bc_gflops(b) * 1e9);
+}
+
+}  // namespace tdg::gpumodel

@@ -1,0 +1,62 @@
+// The paper's Section-3.3 performance model of pipelined bulge chasing.
+//
+// Time is measured in "bulge cycles" (one block step of one sweep). Three
+// laws govern the pipeline:
+//   (1) sweep i+1 starts after sweep i has processed 3 bulges,
+//   (2) the number of bulges per sweep drops by one every b sweeps
+//       (sweep i has ceil((n - i)/b) bulges),
+//   (3) at most S sweeps can be in flight; an extra sweep stalls until the
+//       oldest one drains.
+//
+// Two evaluators are provided: the paper's closed-form expression (floor
+// terms dropped, as in the paper) and an exact discrete-event simulation of
+// the three laws. The simulator also reports per-cycle pipeline occupancy,
+// which drives the memory-throughput projection of Figure 12.
+#pragma once
+
+#include <vector>
+
+#include "gpumodel/device_spec.h"
+
+namespace tdg::gpumodel {
+
+struct BcPipelineStats {
+  double cycles = 0.0;       // total bulge cycles to drain all sweeps
+  double busy_steps = 0.0;   // total block steps executed (sum of bulges)
+  double avg_parallel = 0.0; // busy_steps / cycles — mean sweeps in flight
+};
+
+/// Paper's closed-form total cycles (successive bulges + stall cycles).
+double bc_cycles_closed_form(index_t n, index_t b, index_t s);
+
+/// Exact discrete-event simulation of laws (1)-(3).
+BcPipelineStats bc_simulate(index_t n, index_t b, index_t s);
+
+/// Seconds for one block step at bandwidth b on the device (the b = 32
+/// calibration point scales ~quadratically with b: a step does O(b^2) work
+/// on O(b^2) data).
+double bc_step_seconds(const DeviceSpec& spec, index_t b);
+
+/// Projected GPU bulge-chase time: cycles(n, b, S) * step(b).
+double bc_gpu_seconds(const DeviceSpec& spec, index_t n, index_t b, index_t s,
+                      bool use_simulation = true);
+
+/// Projected effective memory throughput (GB/s) at S parallel sweeps — one
+/// block step touches ~3 b^2 doubles; throughput scales with pipeline
+/// occupancy and is capped by DRAM bandwidth (Figure 12).
+double bc_memory_throughput_gbs(const DeviceSpec& spec, index_t n, index_t b,
+                                index_t s);
+
+/// Naive GPU chase (paper Section 5.2): one thread block per sweep, band
+/// read from the dense matrix. S = sm_count; strided global-memory access
+/// inflates the step time by ~20%.
+double bc_gpu_naive_seconds(const DeviceSpec& spec, index_t n, index_t b);
+
+/// Optimized GPU chase: packed Figure-10 band resident in L2 and several
+/// warp-level sweeps per SM, so S reaches ~2x the SM count.
+double bc_gpu_optimized_seconds(const DeviceSpec& spec, index_t n, index_t b);
+
+/// MAGMA CPU sb2st surrogate (8 MKL threads; see cpu_bc_gflops).
+double magma_sb2st_seconds(index_t n, index_t b);
+
+}  // namespace tdg::gpumodel

@@ -1,0 +1,58 @@
+#include "gpumodel/device_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tdg::gpumodel {
+
+DeviceSpec h100_sxm() {
+  DeviceSpec s;
+  s.name = "H100-SXM";
+  s.fp64_peak_tflops = 67.0;
+  s.dram_gbs = 3350.0;
+  s.l2_mb = 50.0;
+  s.sm_count = 132;
+  // Fitted to Table 1 of the paper: (n=8192, k=16) -> 0.43 TFLOPs,
+  // (32768, 4096) -> 45.5 TFLOPs.
+  s.vendor_syr2k_c = 3.62e-8;
+  s.vendor_syr2k_sat = 48.0;
+  s.vendor_cliff_n = 49152.0;
+  s.vendor_cliff_factor = 0.35;
+  s.bc_step_us_b32 = 8.0;
+  return s;
+}
+
+DeviceSpec rtx4090() {
+  DeviceSpec s;
+  s.name = "RTX4090";
+  s.fp64_peak_tflops = 1.29;
+  s.dram_gbs = 1008.0;
+  s.l2_mb = 72.0;
+  s.sm_count = 128;
+  // FP64-starved: every shape saturates the 1:64-rate FP64 pipes at once
+  // (Table 1 right columns: 1.06-1.25 TFLOPs across the whole grid).
+  s.vendor_syr2k_c = 1.0e-5;
+  s.vendor_syr2k_sat = 1.25;
+  s.vendor_cliff_n = 0.0;
+  s.gemm_efficiency = 0.95;  // trivially compute-bound
+  s.gemm_k_half = 16.0;
+  // 660 INT8 TOPS drive an Ozaki-scheme DGEMM well past the FP64 pipes —
+  // this is how the paper reports 1.4 TFLOPs, above the 1.29 FP64 peak.
+  s.dgemm_int8_tflops = 1.6;
+  // Fewer FP64 pipes make each block step slower than on H100.
+  s.bc_step_us_b32 = 18.0;
+  return s;
+}
+
+double cpu_bc_gflops(index_t b) {
+  // Calibrated to the paper's MAGMA sb2st times at n = 49152 (8 MKL
+  // threads): 16.2 s at b=32, 23.9 s at b=64, 84.9 s at b=128 with
+  // ~6*b*n^2 flops. The rate rises with b while the working set fits the
+  // CPU caches, then collapses (the b=128 blow-up of Section 3.2).
+  const double bd = static_cast<double>(b);
+  const double peak = 17.0 + 0.34 * std::min(bd, 64.0);
+  if (bd <= 64.0) return peak;
+  return peak / std::pow(bd / 64.0, 0.83);
+}
+
+}  // namespace tdg::gpumodel

@@ -1,0 +1,72 @@
+// Kernel-time model: converts BLAS call shapes into projected device time.
+//
+// GEMM: wave-quantised tile model. The output is tiled 128x128 per thread
+// block; full waves of sm_count tiles run back to back; per-tile time is the
+// max of the MMA-pipeline time (derated by the k-pipeline efficiency
+// k/(k+k_half) — short k loops cannot hide the pipeline latency, which is
+// exactly why the paper pushes k from b=64 to k=1024) and the memory time.
+//
+// Vendor syr2k: empirical surrogate fitted to the paper's Table 1 (see
+// device_spec.h). Used when pricing traces of algorithms that would call
+// cuBLAS Dsyr2k (classic SBR, direct sytrd); our own square-block syr2k is
+// priced constructively from its square GEMM tiles instead.
+//
+// BLAS-2 (symv/gemv/ger/syr2): pure memory-roofline plus launch overhead —
+// the reason direct sytrd sits at ~2 TFLOPs in Figure 4.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/trace.h"
+#include "gpumodel/device_spec.h"
+
+namespace tdg::gpumodel {
+
+class KernelModel {
+ public:
+  /// vendor_syr2k: price kSyr2k ops with the cuBLAS surrogate (baselines).
+  /// false: price them as two GEMMs of the same shape (our own kernels).
+  explicit KernelModel(DeviceSpec spec, bool vendor_syr2k = true)
+      : spec_(std::move(spec)), vendor_syr2k_(vendor_syr2k) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Projected seconds for C(m x n) += A(m x k) B(k x n), batched.
+  double gemm_seconds(index_t m, index_t n, index_t k, index_t batch = 1) const;
+
+  /// Projected seconds for the vendor syr2k (n x n output, inner dim k).
+  double vendor_syr2k_seconds(index_t n, index_t k) const;
+
+  /// Vendor syr2k throughput in TFLOPs (the Table-1 quantity).
+  double vendor_syr2k_tflops(index_t n, index_t k) const;
+
+  /// Memory-roofline seconds for a BLAS-2 op touching `bytes`.
+  double blas2_seconds(double bytes) const;
+
+  /// Projected seconds of one traced op (kBcStep ops return 0 here — the
+  /// bulge-chase pipeline is priced by BcPipelineModel, not per-op).
+  double op_seconds(const trace::Op& op) const;
+
+ private:
+  DeviceSpec spec_;
+  bool vendor_syr2k_;
+};
+
+/// Aggregate cost of a recorded trace.
+struct TraceCost {
+  double seconds = 0.0;
+  double flops = 0.0;
+  std::map<trace::OpKind, double> seconds_by_kind;
+  index_t bc_steps = 0;  // count of kBcStep ops (priced separately)
+
+  double tflops() const {
+    return seconds > 0.0 ? flops / seconds / 1e12 : 0.0;
+  }
+};
+
+/// Price every op of a trace with the given model.
+TraceCost price_trace(const KernelModel& model,
+                      const std::vector<trace::Op>& ops);
+
+}  // namespace tdg::gpumodel

@@ -1,0 +1,72 @@
+// From-scratch BLAS subset (FP64, column-major) used by every algorithm in
+// the library. This is the substrate standing in for cuBLAS: the algorithms
+// above it call these kernels with exactly the shapes they would submit to a
+// GPU, and each call is recorded in the active trace (common/trace.h).
+#pragma once
+
+#include "la/matrix.h"
+
+namespace tdg {
+
+enum class Trans { kNo, kTrans };
+
+namespace la {
+
+// ----- BLAS 1 (contiguous vectors) -----
+
+/// sum_i x[i] * y[i]
+double dot(index_t n, const double* x, const double* y);
+
+/// y += alpha * x
+void axpy(index_t n, double alpha, const double* x, double* y);
+
+/// x *= alpha
+void scal(index_t n, double alpha, double* x);
+
+/// Euclidean norm with overflow-safe scaling.
+double nrm2(index_t n, const double* x);
+
+// ----- BLAS 2 -----
+
+/// y = alpha * op(A) x + beta * y
+void gemv(Trans ta, double alpha, ConstMatrixView a, const double* x,
+          double beta, double* y);
+
+/// A += alpha * x y^T
+void ger(double alpha, const double* x, const double* y, MatrixView a);
+
+/// y = alpha * A x + beta * y, A symmetric with data in the lower triangle.
+void symv_lower(double alpha, ConstMatrixView a, const double* x, double beta,
+                double* y);
+
+/// A += alpha * (x y^T + y x^T), lower triangle only.
+void syr2_lower(double alpha, const double* x, const double* y, MatrixView a);
+
+// ----- BLAS 3 -----
+
+/// C = alpha * op(A) op(B) + beta * C
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c);
+
+/// C = alpha * (A B^T + B A^T) + beta * C, lower triangle of C only.
+/// Reference column-sweep implementation (the "cuBLAS syr2k" stand-in).
+void syr2k_lower(double alpha, ConstMatrixView a, ConstMatrixView b,
+                 double beta, MatrixView c);
+
+/// C(m x w) = alpha * A B + beta * C with A (m x m) symmetric, data in the
+/// lower triangle only. Recorded in the trace as an m x w x m GEMM — on a
+/// GPU a symm runs the same flops and tiles as the equivalent gemm.
+void symm_lower(double alpha, ConstMatrixView a, ConstMatrixView b,
+                double beta, MatrixView c);
+
+/// Same contract as syr2k_lower, but computed with the paper's Fig.-7
+/// schedule: the lower triangle is tiled into square blocks which are
+/// processed by anti-diagonal ("iteration 1: diagonal blocks, iteration 2:
+/// first off-diagonal blocks, ..."), each block a square GEMM. All blocks
+/// within one iteration are independent.
+/// `block` is the square tile size (0 = pick a default).
+void syr2k_lower_square(double alpha, ConstMatrixView a, ConstMatrixView b,
+                        double beta, MatrixView c, index_t block = 0);
+
+}  // namespace la
+}  // namespace tdg

@@ -1,0 +1,35 @@
+#include <cmath>
+
+#include "la/blas.h"
+
+namespace tdg::la {
+
+double dot(index_t n, const double* x, const double* y) {
+  double s = 0.0;
+  for (index_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void axpy(index_t n, double alpha, const double* x, double* y) {
+  for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scal(index_t n, double alpha, double* x) {
+  for (index_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double nrm2(index_t n, const double* x) {
+  // Two-pass scaled norm: overflow/underflow safe like reference dnrm2.
+  double amax = 0.0;
+  for (index_t i = 0; i < n; ++i) amax = std::max(amax, std::abs(x[i]));
+  if (amax == 0.0 || !std::isfinite(amax)) return amax;
+  double s = 0.0;
+  const double inv = 1.0 / amax;
+  for (index_t i = 0; i < n; ++i) {
+    const double t = x[i] * inv;
+    s += t * t;
+  }
+  return amax * std::sqrt(s);
+}
+
+}  // namespace tdg::la

@@ -1,0 +1,170 @@
+#include <algorithm>
+
+#include "common/trace.h"
+#include "la/blas.h"
+
+namespace tdg::la {
+
+namespace {
+
+// Core kernel: C = alpha * A(m x k) * B(k x n) + beta * C, no transposes.
+// Column-register blocking: 8 output columns per pass so each A column is
+// read once per 8 C columns.
+void gemm_nn(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+             MatrixView c) {
+  const index_t m = c.rows;
+  const index_t n = c.cols;
+  const index_t k = a.cols;
+  constexpr index_t kColBlock = 8;
+
+  for (index_t jj = 0; jj < n; jj += kColBlock) {
+    const index_t jb = std::min(kColBlock, n - jj);
+    if (beta != 1.0) {
+      for (index_t j = jj; j < jj + jb; ++j) {
+        double* cj = c.col(j);
+        if (beta == 0.0) {
+          std::fill(cj, cj + m, 0.0);
+        } else {
+          for (index_t i = 0; i < m; ++i) cj[i] *= beta;
+        }
+      }
+    }
+    for (index_t l = 0; l < k; ++l) {
+      const double* al = a.col(l);
+      double coef[kColBlock];
+      double* ccol[kColBlock];
+      for (index_t t = 0; t < jb; ++t) {
+        coef[t] = alpha * b(l, jj + t);
+        ccol[t] = c.col(jj + t);
+      }
+      if (jb == kColBlock) {
+        for (index_t i = 0; i < m; ++i) {
+          const double ai = al[i];
+          ccol[0][i] += coef[0] * ai;
+          ccol[1][i] += coef[1] * ai;
+          ccol[2][i] += coef[2] * ai;
+          ccol[3][i] += coef[3] * ai;
+          ccol[4][i] += coef[4] * ai;
+          ccol[5][i] += coef[5] * ai;
+          ccol[6][i] += coef[6] * ai;
+          ccol[7][i] += coef[7] * ai;
+        }
+      } else {
+        for (index_t t = 0; t < jb; ++t) {
+          const double ct = coef[t];
+          double* cc = ccol[t];
+          for (index_t i = 0; i < m; ++i) cc[i] += ct * al[i];
+        }
+      }
+    }
+  }
+}
+
+// Materialise op(X) as a plain matrix when a transpose is requested, so the
+// single NN kernel serves all four cases. The O(mk) pack cost is dominated
+// by the O(mnk) multiply.
+Matrix pack_transposed(ConstMatrixView x) { return transposed(x); }
+
+}  // namespace
+
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c) {
+  const index_t opa_rows = (ta == Trans::kNo) ? a.rows : a.cols;
+  const index_t opa_cols = (ta == Trans::kNo) ? a.cols : a.rows;
+  const index_t opb_rows = (tb == Trans::kNo) ? b.rows : b.cols;
+  const index_t opb_cols = (tb == Trans::kNo) ? b.cols : b.rows;
+  TDG_CHECK(opa_rows == c.rows && opb_cols == c.cols && opa_cols == opb_rows,
+            "gemm: shape mismatch");
+  trace::record({trace::OpKind::kGemm, c.rows, c.cols, opa_cols, 1});
+
+  if (c.rows == 0 || c.cols == 0) return;
+  if (opa_cols == 0 || alpha == 0.0) {
+    if (beta != 1.0) {
+      for (index_t j = 0; j < c.cols; ++j) {
+        double* cj = c.col(j);
+        for (index_t i = 0; i < c.rows; ++i) cj[i] *= beta;
+      }
+    }
+    return;
+  }
+
+  if (ta == Trans::kNo && tb == Trans::kNo) {
+    gemm_nn(alpha, a, b, beta, c);
+  } else if (ta == Trans::kTrans && tb == Trans::kNo) {
+    const Matrix at = pack_transposed(a);
+    gemm_nn(alpha, at.view(), b, beta, c);
+  } else if (ta == Trans::kNo && tb == Trans::kTrans) {
+    const Matrix bt = pack_transposed(b);
+    gemm_nn(alpha, a, bt.view(), beta, c);
+  } else {
+    const Matrix at = pack_transposed(a);
+    const Matrix bt = pack_transposed(b);
+    gemm_nn(alpha, at.view(), bt.view(), beta, c);
+  }
+}
+
+void syr2k_lower(double alpha, ConstMatrixView a, ConstMatrixView b,
+                 double beta, MatrixView c) {
+  TDG_CHECK(c.rows == c.cols, "syr2k_lower: C must be square");
+  TDG_CHECK(a.rows == c.rows && b.rows == c.rows && a.cols == b.cols,
+            "syr2k_lower: shape mismatch");
+  trace::record({trace::OpKind::kSyr2k, c.rows, c.rows, a.cols, 1});
+
+  const index_t n = c.rows;
+  const index_t k = a.cols;
+  for (index_t j = 0; j < n; ++j) {
+    double* cj = c.col(j);
+    if (beta != 1.0) {
+      for (index_t i = j; i < n; ++i) cj[i] *= beta;
+    }
+    for (index_t l = 0; l < k; ++l) {
+      const double abj = alpha * b(j, l);
+      const double aaj = alpha * a(j, l);
+      const double* al = a.col(l);
+      const double* bl = b.col(l);
+      for (index_t i = j; i < n; ++i) {
+        cj[i] += abj * al[i] + aaj * bl[i];
+      }
+    }
+  }
+}
+
+void symm_lower(double alpha, ConstMatrixView a, ConstMatrixView b,
+                double beta, MatrixView c) {
+  TDG_CHECK(a.rows == a.cols, "symm_lower: A must be square");
+  TDG_CHECK(a.rows == b.rows && b.rows == c.rows && b.cols == c.cols,
+            "symm_lower: shape mismatch");
+  trace::record({trace::OpKind::kGemm, c.rows, c.cols, a.cols, 1});
+
+  const index_t n = a.rows;
+  const index_t w = c.cols;
+  if (beta != 1.0) {
+    for (index_t j = 0; j < w; ++j) {
+      double* cj = c.col(j);
+      if (beta == 0.0) {
+        std::fill(cj, cj + n, 0.0);
+      } else {
+        for (index_t i = 0; i < n; ++i) cj[i] *= beta;
+      }
+    }
+  }
+  // One pass over the stored (lower) columns of A; column l contributes to
+  // rows l..n-1 directly and to row l via the mirrored entries.
+  for (index_t l = 0; l < n; ++l) {
+    const double* al = a.col(l);
+    for (index_t j = 0; j < w; ++j) {
+      double* cj = c.col(j);
+      const double* bj = b.col(j);
+      const double abl = alpha * bj[l];
+      cj[l] += abl * al[l];
+      double s = 0.0;
+      for (index_t i = l + 1; i < n; ++i) {
+        cj[i] += abl * al[i];
+        s += al[i] * bj[i];
+      }
+      cj[l] += alpha * s;
+    }
+  }
+}
+
+}  // namespace tdg::la

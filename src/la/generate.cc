@@ -1,0 +1,113 @@
+#include "la/generate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace tdg {
+
+Matrix random_matrix(index_t m, index_t n, Rng& rng) {
+  Matrix a(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) a(i, j) = rng.normal();
+  }
+  return a;
+}
+
+Matrix random_symmetric(index_t n, Rng& rng) {
+  Matrix a(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      const double v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+Matrix symmetric_with_spectrum(const std::vector<double>& evals, Rng& rng) {
+  const index_t n = static_cast<index_t>(evals.size());
+  Matrix a(n, n);
+  for (index_t i = 0; i < n; ++i) a(i, i) = evals[static_cast<std::size_t>(i)];
+
+  // Apply n random Householder similarity transforms: A <- H A H with
+  // H = I - 2 v v^T / (v^T v). The result has exactly the given spectrum.
+  std::vector<double> v(static_cast<std::size_t>(n));
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (int rep = 0; rep < 2; ++rep) {
+    double vv = 0.0;
+    for (auto& x : v) {
+      x = rng.normal();
+      vv += x * x;
+    }
+    if (vv == 0.0) continue;
+    const double beta = 2.0 / vv;
+    // w = A v
+    for (index_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (index_t j = 0; j < n; ++j) s += a(i, j) * v[static_cast<std::size_t>(j)];
+      w[static_cast<std::size_t>(i)] = s;
+    }
+    // gamma = beta^2/2 * v^T w ; A <- A - beta (v w^T + w v^T) + 2 gamma v v^T
+    double vw = 0.0;
+    for (index_t i = 0; i < n; ++i)
+      vw += v[static_cast<std::size_t>(i)] * w[static_cast<std::size_t>(i)];
+    const double gamma = beta * beta * vw / 2.0;
+    for (index_t j = 0; j < n; ++j) {
+      const double vj = v[static_cast<std::size_t>(j)];
+      const double wj = w[static_cast<std::size_t>(j)];
+      for (index_t i = 0; i < n; ++i) {
+        const double vi = v[static_cast<std::size_t>(i)];
+        const double wi = w[static_cast<std::size_t>(i)];
+        a(i, j) += -beta * (vi * wj + wi * vj) + 2.0 * gamma * vi * vj;
+      }
+    }
+  }
+  // Force exact symmetry against roundoff drift.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j + 1; i < n; ++i) {
+      const double s = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = s;
+      a(j, i) = s;
+    }
+  }
+  return a;
+}
+
+Matrix random_symmetric_band(index_t n, index_t b, Rng& rng) {
+  Matrix a(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i <= std::min(n - 1, j + b); ++i) {
+      const double v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+Matrix laplacian_1d(index_t n) {
+  Matrix a(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    a(i, i) = 2.0;
+    if (i + 1 < n) {
+      a(i + 1, i) = -1.0;
+      a(i, i + 1) = -1.0;
+    }
+  }
+  return a;
+}
+
+std::vector<double> laplacian_1d_eigenvalues(index_t n) {
+  std::vector<double> ev(static_cast<std::size_t>(n));
+  for (index_t j = 1; j <= n; ++j) {
+    ev[static_cast<std::size_t>(j - 1)] =
+        2.0 - 2.0 * std::cos(static_cast<double>(j) * std::numbers::pi /
+                             static_cast<double>(n + 1));
+  }
+  std::sort(ev.begin(), ev.end());
+  return ev;
+}
+
+}  // namespace tdg

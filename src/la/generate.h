@@ -1,0 +1,31 @@
+// Test/benchmark matrix generators.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "la/matrix.h"
+
+namespace tdg {
+
+/// Dense m x n with iid standard-normal entries.
+Matrix random_matrix(index_t m, index_t n, Rng& rng);
+
+/// Symmetric n x n: (G + G^T) / 2 with G standard normal.
+Matrix random_symmetric(index_t n, Rng& rng);
+
+/// Symmetric n x n with prescribed eigenvalues: Q diag(evals) Q^T for a
+/// random orthogonal Q (composed Householder reflections).
+Matrix symmetric_with_spectrum(const std::vector<double>& evals, Rng& rng);
+
+/// Symmetric band matrix (bandwidth b) embedded in a dense n x n matrix.
+Matrix random_symmetric_band(index_t n, index_t b, Rng& rng);
+
+/// The 1-D discrete Laplacian (second-difference) matrix: 2 on the diagonal,
+/// -1 on the sub/super-diagonal. Its eigenvalues are 2 - 2 cos(j*pi/(n+1)).
+Matrix laplacian_1d(index_t n);
+
+/// Analytic eigenvalues of laplacian_1d(n), ascending.
+std::vector<double> laplacian_1d_eigenvalues(index_t n);
+
+}  // namespace tdg

@@ -1,0 +1,140 @@
+// Dense column-major matrix container and non-owning views.
+//
+// Everything in the library operates on FP64 (the precision the paper
+// targets). Views mirror the BLAS/LAPACK convention: a matrix is a pointer,
+// a row count, a column count and a leading dimension, so sub-blocks of a
+// larger matrix can be passed to any kernel without copying.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tdg {
+
+using index_t = std::int64_t;
+
+/// Non-owning read-only view of a column-major matrix block.
+struct ConstMatrixView {
+  const double* data = nullptr;
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t ld = 0;
+
+  const double& operator()(index_t i, index_t j) const {
+    return data[i + static_cast<std::size_t>(j) * ld];
+  }
+
+  /// Column pointer (for BLAS-1 style iteration down a column).
+  const double* col(index_t j) const {
+    return data + static_cast<std::size_t>(j) * ld;
+  }
+
+  /// Sub-block starting at (i, j) of size m x n.
+  ConstMatrixView block(index_t i, index_t j, index_t m, index_t n) const {
+    TDG_CHECK(i >= 0 && j >= 0 && m >= 0 && n >= 0 && i + m <= rows &&
+                  j + n <= cols,
+              "block out of range");
+    return {data + i + static_cast<std::size_t>(j) * ld, m, n, ld};
+  }
+};
+
+/// Non-owning mutable view of a column-major matrix block.
+struct MatrixView {
+  double* data = nullptr;
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t ld = 0;
+
+  double& operator()(index_t i, index_t j) const {
+    return data[i + static_cast<std::size_t>(j) * ld];
+  }
+
+  double* col(index_t j) const {
+    return data + static_cast<std::size_t>(j) * ld;
+  }
+
+  MatrixView block(index_t i, index_t j, index_t m, index_t n) const {
+    TDG_CHECK(i >= 0 && j >= 0 && m >= 0 && n >= 0 && i + m <= rows &&
+                  j + n <= cols,
+              "block out of range");
+    return {data + i + static_cast<std::size_t>(j) * ld, m, n, ld};
+  }
+
+  operator ConstMatrixView() const { return {data, rows, cols, ld}; }  // NOLINT
+};
+
+/// Owning column-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// m x n matrix, zero-initialised.
+  Matrix(index_t m, index_t n)
+      : m_(m), n_(n), d_(static_cast<std::size_t>(m) * n, 0.0) {
+    TDG_CHECK(m >= 0 && n >= 0, "matrix dimensions must be non-negative");
+  }
+
+  static Matrix identity(index_t n) {
+    Matrix I(n, n);
+    for (index_t i = 0; i < n; ++i) I(i, i) = 1.0;
+    return I;
+  }
+
+  index_t rows() const { return m_; }
+  index_t cols() const { return n_; }
+  index_t ld() const { return m_; }
+
+  double& operator()(index_t i, index_t j) {
+    return d_[i + static_cast<std::size_t>(j) * m_];
+  }
+  const double& operator()(index_t i, index_t j) const {
+    return d_[i + static_cast<std::size_t>(j) * m_];
+  }
+
+  double* data() { return d_.data(); }
+  const double* data() const { return d_.data(); }
+
+  MatrixView view() { return {d_.data(), m_, n_, m_}; }
+  ConstMatrixView view() const { return {d_.data(), m_, n_, m_}; }
+  MatrixView block(index_t i, index_t j, index_t m, index_t n) {
+    return view().block(i, j, m, n);
+  }
+  ConstMatrixView block(index_t i, index_t j, index_t m, index_t n) const {
+    return view().block(i, j, m, n);
+  }
+
+  void set_zero() { std::fill(d_.begin(), d_.end(), 0.0); }
+
+ private:
+  index_t m_ = 0;
+  index_t n_ = 0;
+  std::vector<double> d_;
+};
+
+/// Copy src into dst (dimensions must match).
+void copy(ConstMatrixView src, MatrixView dst);
+
+/// Fill every entry of the view with the given value.
+void fill(MatrixView a, double value);
+
+/// Mirror the strict lower triangle into the upper triangle (square views).
+void symmetrize_from_lower(MatrixView a);
+
+/// max_ij |a(i,j) - b(i,j)|.
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b);
+
+/// Frobenius norm.
+double frobenius_norm(ConstMatrixView a);
+
+/// max_ij |a(i,j)|.
+double max_abs(ConstMatrixView a);
+
+/// Transpose of a into a newly allocated matrix.
+Matrix transposed(ConstMatrixView a);
+
+/// ||Q^T Q - I||_max — orthogonality defect of Q's columns.
+double orthogonality_error(ConstMatrixView q);
+
+}  // namespace tdg

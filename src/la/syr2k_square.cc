@@ -1,0 +1,57 @@
+// The paper's custom SYR2K schedule (Section 5.1, Figure 7).
+//
+// cuBLAS' syr2k sweeps long skinny column panels of the lower triangle,
+// which produces tall-and-thin GEMM shapes and (on H100) a sharp throughput
+// drop for very large n. The paper instead tiles the lower triangle into
+// square blocks and processes them by anti-diagonal distance: iteration 0
+// computes all diagonal blocks, iteration 1 all first sub-diagonal blocks,
+// and so on. Every block is a *square* GEMM of size (block x block x k), all
+// blocks within an iteration are independent (reorderable / streamable), and
+// the shape is friendly to modern GPU tensor pipes.
+//
+// Here the identical schedule runs on the CPU; each block lands in the trace
+// as a square GEMM, which is what the device model prices.
+
+#include <algorithm>
+
+#include "la/blas.h"
+
+namespace tdg::la {
+
+void syr2k_lower_square(double alpha, ConstMatrixView a, ConstMatrixView b,
+                        double beta, MatrixView c, index_t block) {
+  TDG_CHECK(c.rows == c.cols, "syr2k_lower_square: C must be square");
+  TDG_CHECK(a.rows == c.rows && b.rows == c.rows && a.cols == b.cols,
+            "syr2k_lower_square: shape mismatch");
+  const index_t n = c.rows;
+  if (n == 0) return;
+  if (block <= 0) block = std::min<index_t>(512, n);
+
+  const index_t nblk = (n + block - 1) / block;
+
+  // Iterate by sub-diagonal distance d; blocks (bi = bj + d, bj).
+  for (index_t d = 0; d < nblk; ++d) {
+    for (index_t bj = 0; bj + d < nblk; ++bj) {
+      const index_t bi = bj + d;
+      const index_t j0 = bj * block;
+      const index_t i0 = bi * block;
+      const index_t jb = std::min(block, n - j0);
+      const index_t ib = std::min(block, n - i0);
+      if (d == 0) {
+        // Diagonal block: lower triangle only.
+        syr2k_lower(alpha, a.block(i0, 0, ib, a.cols), b.block(i0, 0, ib, b.cols),
+                    beta, c.block(i0, j0, ib, jb));
+      } else {
+        // Off-diagonal block: two square GEMMs,
+        //   C_blk = beta C_blk + alpha A_i B_j^T + alpha B_i A_j^T.
+        MatrixView cblk = c.block(i0, j0, ib, jb);
+        gemm(Trans::kNo, Trans::kTrans, alpha, a.block(i0, 0, ib, a.cols),
+             b.block(j0, 0, jb, b.cols), beta, cblk);
+        gemm(Trans::kNo, Trans::kTrans, alpha, b.block(i0, 0, ib, b.cols),
+             a.block(j0, 0, jb, a.cols), 1.0, cblk);
+      }
+    }
+  }
+}
+
+}  // namespace tdg::la

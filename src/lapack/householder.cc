@@ -1,0 +1,35 @@
+#include <cmath>
+
+#include "lapack/lapack.h"
+
+namespace tdg::lapack {
+
+double larfg(index_t n, double& alpha, double* x) {
+  if (n <= 1) return 0.0;
+  const double xnorm = la::nrm2(n - 1, x);
+  if (xnorm == 0.0) return 0.0;
+
+  double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+  // Rescale for safety if beta is tiny (mirrors dlarfg's safmin loop in
+  // spirit; one round is enough in FP64 for our magnitudes).
+  const double tau = (beta - alpha) / beta;
+  la::scal(n - 1, 1.0 / (alpha - beta), x);
+  alpha = beta;
+  return tau;
+}
+
+void larf_left(const double* v, double tau, MatrixView c, double* work) {
+  if (tau == 0.0 || c.rows == 0 || c.cols == 0) return;
+  // work = C^T v ; C -= tau * v work^T
+  la::gemv(Trans::kTrans, 1.0, c, v, 0.0, work);
+  la::ger(-tau, v, work, c);
+}
+
+void larf_right(const double* v, double tau, MatrixView c, double* work) {
+  if (tau == 0.0 || c.rows == 0 || c.cols == 0) return;
+  // work = C v ; C -= tau * work v^T
+  la::gemv(Trans::kNo, 1.0, c, v, 0.0, work);
+  la::ger(-tau, work, v, c);
+}
+
+}  // namespace tdg::lapack

@@ -1,0 +1,128 @@
+// Double-blocking band reduction — the paper's Algorithm 1.
+//
+// Inner block size b (the target bandwidth) governs the panel QRs; outer
+// block size k (opts.k, a multiple of b) governs how many reflector panels
+// are accumulated in the ZY representation (Y, Z) before the trailing matrix
+// is touched. Between trailing updates, each upcoming panel is refreshed
+// just-in-time with the accumulated (Y, Z) — that is the paper's line 8-12,
+// two skinny GEMMs per panel. The single trailing syr2k per outer block then
+// has inner dimension k >> b, the shape that saturates an H100 (Table 1),
+// while the bandwidth handed to bulge chasing stays small (e.g. b = 32).
+//
+// Internal state convention per outer block: processed panel columns hold
+// their final band values (diag block via the JIT update, R via the panel
+// QR, zeros below); everything at column >= the next panel is *stale* (the
+// values from the start of the outer block). A panel's A_cur * V product is
+// therefore computed from the stale trailing matrix plus the accumulated
+// correction: A_cur = A_stale - Y Z^T - Z Y^T.
+
+#include <algorithm>
+
+#include "sbr/internal.h"
+#include "sbr/sbr.h"
+
+namespace tdg::sbr {
+
+namespace {
+
+void trailing_syr2k(const BandReductionOptions& opts, ConstMatrixView v,
+                    ConstMatrixView w, MatrixView atail) {
+  if (opts.use_square_syr2k) {
+    la::syr2k_lower_square(-1.0, v, w, 1.0, atail, opts.syr2k_block);
+  } else {
+    la::syr2k_lower(-1.0, v, w, 1.0, atail);
+  }
+}
+
+}  // namespace
+
+BandFactor dbbr(MatrixView a, const BandReductionOptions& opts) {
+  const index_t n = a.rows;
+  const index_t b = opts.b;
+  const index_t k = opts.k;
+  TDG_CHECK(a.rows == a.cols, "dbbr: matrix must be square");
+  TDG_CHECK(b >= 1 && b < std::max<index_t>(n, 2), "dbbr: need 1 <= b < n");
+  TDG_CHECK(k >= b && k % b == 0, "dbbr: k must be a positive multiple of b");
+
+  BandFactor f;
+  f.n = n;
+  f.b = b;
+
+  Matrix y(n, k);  // accumulated V panels (global row indexing)
+  Matrix z(n, k);  // accumulated W panels
+
+  index_t i = 0;
+  while (n - i - b >= 1) {
+    y.set_zero();
+    z.set_zero();
+    index_t cols = 0;  // accumulated reflector columns in this outer block
+    index_t t0 = i;    // start of the stale trailing region
+
+    for (index_t j = i; j < i + k && n - j - b >= 1; j += b) {
+      const index_t m = n - j - b;       // rows of the below-band panel
+      const index_t w = std::min(b, m);  // panel width
+
+      if (cols > 0) {
+        // JIT refresh of this panel's column block (rows j..n-1): apply all
+        // updates accumulated in this outer block. Paper Algorithm 1, l.8-12.
+        MatrixView blk = a.block(j, j, n - j, w);
+        la::gemm(Trans::kNo, Trans::kTrans, -1.0, y.block(j, 0, n - j, cols),
+                 z.block(j, 0, w, cols), 1.0, blk);
+        la::gemm(Trans::kNo, Trans::kTrans, -1.0, z.block(j, 0, n - j, cols),
+                 y.block(j, 0, w, cols), 1.0, blk);
+      }
+
+      MatrixView panel = a.block(j + b, j, m, w);
+      lapack::WyFactor wy = lapack::panel_qr(panel);
+      detail::zero_below_r(a, j, b, w);
+
+      // P = A_cur V = A_stale V - Y (Z^T V) - Z (Y^T V)  (rows j+b..n-1).
+      Matrix p(m, w);
+      la::symm_lower(1.0, a.block(j + b, j + b, m, m), wy.v.view(), 0.0,
+                     p.view());
+      if (cols > 0) {
+        Matrix zv(cols, w);
+        la::gemm(Trans::kTrans, Trans::kNo, 1.0, z.block(j + b, 0, m, cols),
+                 wy.v.view(), 0.0, zv.view());
+        la::gemm(Trans::kNo, Trans::kNo, -1.0, y.block(j + b, 0, m, cols),
+                 zv.view(), 1.0, p.view());
+        Matrix yv(cols, w);
+        la::gemm(Trans::kTrans, Trans::kNo, 1.0, y.block(j + b, 0, m, cols),
+                 wy.v.view(), 0.0, yv.view());
+        la::gemm(Trans::kNo, Trans::kNo, -1.0, z.block(j + b, 0, m, cols),
+                 yv.view(), 1.0, p.view());
+      }
+      Matrix wmat = detail::zy_w_from_av(p.view(), wy.v.view(), wy.t.view());
+
+      copy(wy.v.view(), y.block(j + b, cols, m, w));
+      copy(wmat.view(), z.block(j + b, cols, m, w));
+      cols += w;
+      t0 = j + w;  // columns < t0 are final; >= t0 still stale
+
+      f.panels.push_back({j + b, std::move(wy.v), std::move(wy.t)});
+    }
+
+    if (cols > 0 && t0 < n) {
+      // One fat trailing update for the whole outer block (inner dim = cols).
+      trailing_syr2k(opts, y.block(t0, 0, n - t0, cols),
+                     z.block(t0, 0, n - t0, cols), a.block(t0, t0, n - t0, n - t0));
+    }
+    if (!f.panels.empty()) {
+      // Final partial panel of the block (w < b): columns [j+w, j+b) stay
+      // inside the band but their below-diagonal rows still receive the last
+      // panel's Q^T from the left. (For full panels w == b this is empty.)
+      const Panel& last = f.panels.back();
+      const index_t lw = last.v.cols();
+      const index_t lj = last.row0 - b;
+      if (lw < b && lj >= i) {
+        lapack::apply_block_reflector_left(
+            last.v.view(), last.t.view(), Trans::kTrans,
+            a.block(last.row0, lj + lw, last.v.rows(), b - lw));
+      }
+    }
+    i += k;
+  }
+  return f;
+}
+
+}  // namespace tdg::sbr

@@ -1,0 +1,19 @@
+// Shared internals of the band-reduction implementations.
+#pragma once
+
+#include "la/blas.h"
+#include "lapack/lapack.h"
+
+namespace tdg::sbr::detail {
+
+/// ZY-representation update matrix from the product P = A_cur * V:
+///   W = P T - (1/2) V T^T (V^T P T),
+/// so that Q^T A_cur Q = A_cur - V W^T - W V^T for Q = I - V T V^T.
+Matrix zy_w_from_av(ConstMatrixView p, ConstMatrixView v, ConstMatrixView t);
+
+/// Zero the sub-R part of a just-factorised panel: columns [j0, j0+w) of
+/// `a`, rows strictly below the R triangle (row > j0 + b + c for local
+/// column c). Those positions held Householder vectors during the panel QR.
+void zero_below_r(MatrixView a, index_t j0, index_t b, index_t w);
+
+}  // namespace tdg::sbr::detail

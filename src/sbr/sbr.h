@@ -1,0 +1,65 @@
+// Stage 1 of two-stage tridiagonalization: reduction of a dense symmetric
+// matrix to band form (bandwidth b).
+//
+// Two algorithms:
+//
+//  * sy2sb   — classic single-blocking successive band reduction (SBR), the
+//              MAGMA `dsy2sb` analogue: panel QR with block size b, then a
+//              full trailing-matrix update per panel. The syr2k inner
+//              dimension equals b, which is exactly what starves modern GPUs
+//              (Table 1 of the paper).
+//  * dbbr    — the paper's double-blocking band reduction (Algorithm 1).
+//              Panels of width b are factorised and their (Y, Z) = (V, W)
+//              ZY-representation columns accumulated; only the *next* panel
+//              is updated just-in-time. Once k columns are accumulated, one
+//              fat trailing syr2k (inner dimension k >> b) is applied. Same
+//              arithmetic, GPU-saturating shapes, and b can shrink to 32 to
+//              cheapen the subsequent bulge chasing.
+//
+// Both return the reflector panels needed for the stage-1 back
+// transformation (src/backtransform).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace tdg::sbr {
+
+/// One compact-WY panel of the band reduction: Q_p = I - V T V^T acting on
+/// global rows [row0, row0 + v.rows).
+struct Panel {
+  index_t row0 = 0;
+  Matrix v;  // m x w explicit unit-lower-trapezoidal reflectors
+  Matrix t;  // w x w upper-triangular block factor
+};
+
+/// Reflector set of a completed band reduction: A = Q1 * B * Q1^T with
+/// Q1 = Q_panel0 * Q_panel1 * ... (in factorisation order).
+struct BandFactor {
+  index_t n = 0;
+  index_t b = 0;
+  std::vector<Panel> panels;
+};
+
+struct BandReductionOptions {
+  index_t b = 32;  // target bandwidth
+  /// DBBR outer block (syr2k inner dimension); must be a multiple of b.
+  index_t k = 256;
+  /// Use the paper's square-block syr2k schedule for trailing updates
+  /// (Section 5.1) instead of the reference column-sweep syr2k.
+  bool use_square_syr2k = true;
+  /// Square-block size for the custom syr2k (0 = default).
+  index_t syr2k_block = 0;
+};
+
+/// Classic SBR. On return the lower triangle of `a` holds the band matrix
+/// (entries beyond the band are zeroed). Returns the panel reflectors.
+BandFactor sy2sb(MatrixView a, index_t b,
+                 const BandReductionOptions& opts = {});
+
+/// Double-blocking band reduction (paper Algorithm 1). Same contract as
+/// sy2sb; `opts.k` controls the outer block size.
+BandFactor dbbr(MatrixView a, const BandReductionOptions& opts);
+
+}  // namespace tdg::sbr

@@ -1,0 +1,90 @@
+// Classic single-blocking successive band reduction (MAGMA dsy2sb analogue).
+//
+// Per panel of width b: QR-factorise the below-band block, then apply the
+// two-sided block update to the whole trailing matrix through the ZY
+// representation (Equation 1 of the paper):
+//   Z = A V T - (1/2) V T^T (V^T A V T),   A2 <- A2 - V Z^T - Z V^T.
+// The trailing update is a syr2k whose inner dimension equals b — the shape
+// bottleneck the paper's DBBR removes.
+
+#include <algorithm>
+
+#include "sbr/internal.h"
+#include "sbr/sbr.h"
+
+namespace tdg::sbr {
+
+namespace detail {
+
+Matrix zy_w_from_av(ConstMatrixView p, ConstMatrixView v, ConstMatrixView t) {
+  const index_t m = p.rows;
+  const index_t w = p.cols;
+  Matrix x(m, w);
+  la::gemm(Trans::kNo, Trans::kNo, 1.0, p, t, 0.0, x.view());  // X = P T
+  Matrix mm(w, w);
+  la::gemm(Trans::kTrans, Trans::kNo, 1.0, v, x.view(), 0.0, mm.view());
+  Matrix s(w, w);
+  la::gemm(Trans::kTrans, Trans::kNo, 1.0, t, mm.view(), 0.0, s.view());
+  la::gemm(Trans::kNo, Trans::kNo, -0.5, v, s.view(), 1.0, x.view());
+  return x;
+}
+
+void zero_below_r(MatrixView a, index_t j0, index_t b, index_t w) {
+  const index_t n = a.rows;
+  for (index_t c = 0; c < w; ++c) {
+    for (index_t r = j0 + b + c + 1; r < n; ++r) a(r, j0 + c) = 0.0;
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+void trailing_syr2k(const BandReductionOptions& opts, ConstMatrixView v,
+                    ConstMatrixView w, MatrixView atail) {
+  if (opts.use_square_syr2k) {
+    la::syr2k_lower_square(-1.0, v, w, 1.0, atail, opts.syr2k_block);
+  } else {
+    la::syr2k_lower(-1.0, v, w, 1.0, atail);
+  }
+}
+
+}  // namespace
+
+BandFactor sy2sb(MatrixView a, index_t b, const BandReductionOptions& opts) {
+  const index_t n = a.rows;
+  TDG_CHECK(a.rows == a.cols, "sy2sb: matrix must be square");
+  TDG_CHECK(b >= 1 && b < std::max<index_t>(n, 2), "sy2sb: need 1 <= b < n");
+
+  BandFactor f;
+  f.n = n;
+  f.b = b;
+
+  for (index_t j = 0; n - j - b >= 1; j += b) {
+    const index_t m = n - j - b;      // rows of the below-band panel
+    const index_t w = std::min(b, m); // panel width
+    MatrixView panel = a.block(j + b, j, m, w);
+    lapack::WyFactor wy = lapack::panel_qr(panel);
+    detail::zero_below_r(a, j, b, w);
+
+    // Two-sided trailing update via the ZY representation.
+    MatrixView atail = a.block(j + b, j + b, m, m);
+    Matrix p(m, w);
+    la::symm_lower(1.0, atail, wy.v.view(), 0.0, p.view());
+    Matrix z = detail::zy_w_from_av(p.view(), wy.v.view(), wy.t.view());
+    trailing_syr2k(opts, wy.v.view(), z.view(), atail);
+
+    if (w < b) {
+      // Final partial panel: columns [j+w, j+b) stay inside the band but
+      // their below-diagonal rows are still rotated by Q^T from the left.
+      lapack::apply_block_reflector_left(wy.v.view(), wy.t.view(),
+                                         Trans::kTrans,
+                                         a.block(j + b, j + w, m, b - w));
+    }
+
+    f.panels.push_back({j + b, std::move(wy.v), std::move(wy.t)});
+  }
+  return f;
+}
+
+}  // namespace tdg::sbr

@@ -1,0 +1,142 @@
+// Tests for the generalised (band-to-band) chase and multi-step reduction.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bc/band_to_band.h"
+#include "common/rng.h"
+#include "eig/eig.h"
+#include "la/blas.h"
+#include "la/generate.h"
+
+namespace tdg {
+namespace {
+
+class ReduceBandTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ReduceBandTest, ProducesTargetBandwidthPreservingSpectrum) {
+  const auto [n, b, d] = GetParam();
+  Rng rng(600 + n * 7 + b + d);
+  const Matrix a0 = random_symmetric_band(n, b, rng);
+  const index_t kd = std::min<index_t>(2 * b - d, n - 1);
+
+  SymBandMatrix band = extract_band(a0.view(), b, kd);
+  bc::ChaseLog log;
+  bc::reduce_band(band, b, d, &log);
+
+  EXPECT_LT(off_band_max(band, d), 1e-11 * n) << "bandwidth not reduced to d";
+
+  // Spectrum preserved: compare against the direct full chase of the
+  // original band matrix.
+  SymBandMatrix ref = extract_band(a0.view(), b, std::min<index_t>(2 * b, n - 1));
+  bc::chase_packed(ref, b, nullptr);
+  std::vector<double> dr, er;
+  bc::extract_tridiag(ref, dr, er);
+  eig::steqr(dr, er, nullptr);
+
+  // Continue to tridiagonal (fresh storage sized for the d -> 1 chase).
+  SymBandMatrix cont =
+      extract_band(band.to_dense().view(), d, std::min<index_t>(2 * d, n - 1));
+  bc::reduce_band(cont, d, 1, nullptr);
+  std::vector<double> dg, eg;
+  bc::extract_tridiag(cont, dg, eg);
+  eig::steqr(dg, eg, nullptr);
+
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(dg[static_cast<size_t>(i)], dr[static_cast<size_t>(i)],
+                1e-10 * n)
+        << i;
+  }
+
+  // Reconstruction through the logged reflectors: A0 = Q B Q^T.
+  Matrix bmat = band.to_dense();
+  Matrix qb = bmat;
+  bc::apply_q2_left(log, qb.view());
+  Matrix qbq = transposed(qb.view());
+  bc::apply_q2_left(log, qbq.view());
+  EXPECT_LT(max_abs_diff(qbq.view(), a0.view()), 1e-10 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ReduceBandTest,
+    ::testing::Values(std::tuple{24, 6, 2}, std::tuple{32, 8, 4},
+                      std::tuple{33, 8, 3}, std::tuple{40, 12, 6},
+                      std::tuple{48, 9, 2}, std::tuple{20, 5, 4},
+                      std::tuple{30, 10, 9}, std::tuple{26, 7, 1}));
+
+TEST(ReduceBand, TargetEqualBandwidthIsNoop) {
+  Rng rng(1);
+  const Matrix a0 = random_symmetric_band(20, 4, rng);
+  SymBandMatrix band = extract_band(a0.view(), 4, 7);
+  bc::reduce_band(band, 4, 4, nullptr);
+  EXPECT_LT(max_abs_diff(band.to_dense().view(), a0.view()), 1e-15);
+}
+
+TEST(ReduceBand, RejectsInsufficientStorage) {
+  SymBandMatrix band(20, 6);  // need 2*6-2 = 10 for b=6, d=2
+  EXPECT_THROW(bc::reduce_band(band, 6, 2, nullptr), Error);
+}
+
+class MultiStepTest
+    : public ::testing::TestWithParam<std::vector<index_t>> {};
+
+TEST_P(MultiStepTest, MatchesDirectChaseSpectrum) {
+  const std::vector<index_t> steps = GetParam();
+  Rng rng(77);
+  const index_t n = 48, b = 16;
+  const Matrix a0 = random_symmetric_band(n, b, rng);
+
+  SymBandMatrix direct = extract_band(a0.view(), b, std::min<index_t>(2 * b, n - 1));
+  bc::chase_packed(direct, b, nullptr);
+  std::vector<double> dd, de;
+  bc::extract_tridiag(direct, dd, de);
+  eig::steqr(dd, de, nullptr);
+
+  SymBandMatrix multi = extract_band(a0.view(), b, std::min<index_t>(2 * b, n - 1));
+  const auto logs = bc::multi_step_tridiag(multi, b, steps);
+  EXPECT_EQ(logs.size(), steps.size() + 1);
+  EXPECT_LT(off_band_max(multi, 1), 1e-11 * n);
+  std::vector<double> md, me;
+  bc::extract_tridiag(multi, md, me);
+  eig::steqr(md, me, nullptr);
+
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(md[static_cast<size_t>(i)], dd[static_cast<size_t>(i)],
+                1e-10 * n)
+        << i;
+  }
+
+  // Composite Q reconstruction: A0 = Q1 Q2 ... T ... Q2^T Q1^T; apply logs
+  // in reverse order for Q * C.
+  Matrix t = multi.to_dense();
+  Matrix qt = t;
+  for (auto it = logs.rbegin(); it != logs.rend(); ++it) {
+    bc::apply_q2_left(*it, qt.view());
+  }
+  Matrix qtq = transposed(qt.view());
+  for (auto it = logs.rbegin(); it != logs.rend(); ++it) {
+    bc::apply_q2_left(*it, qtq.view());
+  }
+  EXPECT_LT(max_abs_diff(qtq.view(), a0.view()), 1e-10 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Plans, MultiStepTest,
+                         ::testing::Values(std::vector<index_t>{8},
+                                           std::vector<index_t>{8, 4},
+                                           std::vector<index_t>{12, 6, 2},
+                                           std::vector<index_t>{}));
+
+TEST(MultiStep, RejectsNonDecreasingPlan) {
+  Rng rng(2);
+  const Matrix a0 = random_symmetric_band(20, 6, rng);
+  SymBandMatrix band = extract_band(a0.view(), 6, 11);
+  EXPECT_THROW(bc::multi_step_tridiag(band, 6, {8}), Error);
+  EXPECT_THROW(bc::multi_step_tridiag(band, 6, {6}), Error);
+}
+
+}  // namespace
+}  // namespace tdg

@@ -1,0 +1,172 @@
+// Tests for the public façade (core/tridiag.h): method selection, factor
+// application, option clamping, and degenerate inputs.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/tridiag.h"
+#include "la/blas.h"
+#include "la/generate.h"
+
+namespace tdg {
+namespace {
+
+Matrix tridiag_dense(const std::vector<double>& d,
+                     const std::vector<double>& e) {
+  const index_t n = static_cast<index_t>(d.size());
+  Matrix t(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    t(i, i) = d[static_cast<size_t>(i)];
+    if (i + 1 < n) {
+      t(i + 1, i) = e[static_cast<size_t>(i)];
+      t(i, i + 1) = e[static_cast<size_t>(i)];
+    }
+  }
+  return t;
+}
+
+// || A - Q T Q^T || via the result's apply_q.
+double facade_reconstruction_error(ConstMatrixView a, const TridiagResult& r) {
+  Matrix t = tridiag_dense(r.d, r.e);
+  Matrix qt = t;
+  apply_q(r, qt.view());                   // Q T
+  Matrix qtq = transposed(qt.view());      // T Q^T
+  apply_q(r, qtq.view());                  // Q T Q^T
+  return max_abs_diff(qtq.view(), a);
+}
+
+class FacadeTest
+    : public ::testing::TestWithParam<std::tuple<int, TridiagMethod>> {};
+
+TEST_P(FacadeTest, ReconstructsOriginal) {
+  const auto [n, method] = GetParam();
+  Rng rng(500 + n);
+  const Matrix a = random_symmetric(n, rng);
+  TridiagOptions opts;
+  opts.method = method;
+  opts.b = 8;
+  opts.k = 16;
+  opts.bc_threads = 3;
+  const TridiagResult r = tridiagonalize(a.view(), opts);
+  EXPECT_LT(facade_reconstruction_error(a.view(), r), 1e-10 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FacadeTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 17, 40, 64),
+                       ::testing::Values(TridiagMethod::kDirect,
+                                         TridiagMethod::kTwoStageClassic,
+                                         TridiagMethod::kTwoStageDbbr)));
+
+TEST(Facade, ClampsOversizedBandwidth) {
+  Rng rng(1);
+  const Matrix a = random_symmetric(6, rng);
+  TridiagOptions opts;
+  opts.b = 100;  // > n-1, must be clamped
+  opts.k = 100;
+  const TridiagResult r = tridiagonalize(a.view(), opts);
+  EXPECT_LE(r.b, 5);
+  EXPECT_LT(facade_reconstruction_error(a.view(), r), 1e-11 * 6);
+}
+
+TEST(Facade, ZeroMatrix) {
+  const Matrix a(12, 12);
+  TridiagOptions opts;
+  opts.b = 4;
+  const TridiagResult r = tridiagonalize(a.view(), opts);
+  for (double x : r.d) EXPECT_EQ(x, 0.0);
+  for (double x : r.e) EXPECT_EQ(x, 0.0);
+  // Q stays orthogonal even with all-zero reflector candidates (tau = 0).
+  Matrix q = Matrix::identity(12);
+  apply_q(r, q.view());
+  EXPECT_LT(orthogonality_error(q.view()), 1e-14);
+}
+
+TEST(Facade, DiagonalMatrixIsFixedPoint) {
+  Matrix a(10, 10);
+  for (index_t i = 0; i < 10; ++i) a(i, i) = static_cast<double>(i) - 4.0;
+  TridiagOptions opts;
+  opts.b = 3;
+  const TridiagResult r = tridiagonalize(a.view(), opts);
+  for (index_t i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(r.d[static_cast<size_t>(i)], static_cast<double>(i) - 4.0);
+  for (double x : r.e) EXPECT_EQ(x, 0.0);
+}
+
+TEST(Facade, AlreadyTridiagonalSurvivesPipeline) {
+  const Matrix a = laplacian_1d(20);
+  TridiagOptions opts;
+  opts.b = 4;
+  const TridiagResult r = tridiagonalize(a.view(), opts);
+  EXPECT_LT(facade_reconstruction_error(a.view(), r), 1e-11 * 20);
+  // Similarity preserves the trace (= 2n for the 1-D Laplacian).
+  double tr = 0.0;
+  for (double x : r.d) tr += x;
+  EXPECT_NEAR(tr, 40.0, 1e-10);
+}
+
+TEST(Facade, RejectsBadInputs) {
+  Matrix rect(4, 5);
+  TridiagOptions opts;
+  EXPECT_THROW(tridiagonalize(rect.view(), opts), Error);
+  Matrix empty(0, 0);
+  EXPECT_THROW(tridiagonalize(empty.view(), opts), Error);
+}
+
+TEST(Facade, ApplyQRejectsMismatchedRows) {
+  Rng rng(2);
+  const Matrix a = random_symmetric(10, rng);
+  TridiagOptions opts;
+  opts.b = 2;
+  const TridiagResult r = tridiagonalize(a.view(), opts);
+  Matrix c(7, 3);
+  EXPECT_THROW(apply_q(r, c.view()), Error);
+}
+
+TEST(Facade, SingleElementMatrix) {
+  Matrix a(1, 1);
+  a(0, 0) = 3.5;
+  TridiagOptions opts;
+  const TridiagResult r = tridiagonalize(a.view(), opts);
+  ASSERT_EQ(r.d.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.d[0], 3.5);
+  Matrix c = Matrix::identity(1);
+  apply_q(r, c.view());
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+}
+
+TEST(Facade, DeterministicAcrossRuns) {
+  Rng rng(3);
+  const Matrix a = random_symmetric(33, rng);
+  TridiagOptions opts;
+  opts.b = 4;
+  opts.k = 8;
+  opts.bc_threads = 4;
+  const TridiagResult r1 = tridiagonalize(a.view(), opts);
+  const TridiagResult r2 = tridiagonalize(a.view(), opts);
+  EXPECT_EQ(r1.d, r2.d);  // bitwise: parallel BC is order-deterministic
+  EXPECT_EQ(r1.e, r2.e);
+}
+
+TEST(Facade, MaxParallelSweepsCapPreservesResult) {
+  Rng rng(4);
+  const Matrix a = random_symmetric(40, rng);
+  TridiagOptions base;
+  base.b = 4;
+  base.k = 8;
+  const TridiagResult r0 = tridiagonalize(a.view(), base);
+  for (index_t cap : {1, 2, 7}) {
+    TridiagOptions opts = base;
+    opts.max_parallel_sweeps = cap;
+    const TridiagResult r = tridiagonalize(a.view(), opts);
+    EXPECT_EQ(r0.d, r.d) << "cap=" << cap;
+    EXPECT_EQ(r0.e, r.e) << "cap=" << cap;
+  }
+}
+
+}  // namespace
+}  // namespace tdg

@@ -1,0 +1,244 @@
+// Tests for the library extensions beyond the paper's core pipeline:
+// Sturm bisection + inverse iteration (subset eigensolver), the blocked
+// stage-2 back transformation, and the Givens sbtrd baseline.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "backtransform/apply_q2_blocked.h"
+#include "bc/bulge_chase.h"
+#include "bc/givens_sbtrd.h"
+#include "common/rng.h"
+#include "eig/bisect.h"
+#include "eig/drivers.h"
+#include "eig/eig.h"
+#include "la/blas.h"
+#include "la/generate.h"
+
+namespace tdg {
+namespace {
+
+TEST(Sturm, CountsLaplacianEigenvalues) {
+  const index_t n = 50;
+  std::vector<double> d(static_cast<size_t>(n), 2.0);
+  std::vector<double> e(static_cast<size_t>(n - 1), -1.0);
+  // Eigenvalues are in (0, 4): all below 4, none below 0.
+  EXPECT_EQ(eig::sturm_count(d, e, 0.0), 0);
+  EXPECT_EQ(eig::sturm_count(d, e, 4.0), n);
+  EXPECT_EQ(eig::sturm_count(d, e, 2.0), n / 2);  // spectrum symmetric about 2
+}
+
+TEST(Sturm, CountIsMonotoneAndMatchesSteqr) {
+  Rng rng(1);
+  const index_t n = 31;
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n - 1));
+  for (auto& x : d) x = rng.normal();
+  for (auto& x : e) x = rng.normal();
+  std::vector<double> dd = d, ee = e;
+  eig::steqr(dd, ee, nullptr);
+
+  index_t prev = 0;
+  for (double x : {-5.0, -1.0, 0.0, 0.5, 2.0, 5.0}) {
+    const index_t c = eig::sturm_count(d, e, x);
+    EXPECT_GE(c, prev);
+    prev = c;
+    const index_t expect = static_cast<index_t>(
+        std::lower_bound(dd.begin(), dd.end(), x) - dd.begin());
+    EXPECT_EQ(c, expect) << "x=" << x;
+  }
+}
+
+TEST(Bisect, MatchesSteqrOnRandomProblem) {
+  Rng rng(2);
+  const index_t n = 40;
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n - 1));
+  for (auto& x : d) x = rng.normal();
+  for (auto& x : e) x = rng.normal();
+
+  std::vector<double> dd = d, ee = e;
+  eig::steqr(dd, ee, nullptr);
+
+  const auto vals = eig::eigenvalues_bisect(d, e, 0, n - 1);
+  ASSERT_EQ(vals.size(), static_cast<size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(vals[static_cast<size_t>(i)], dd[static_cast<size_t>(i)],
+                1e-11 * n);
+  }
+
+  // Subranges pick out the same values.
+  const auto mid = eig::eigenvalues_bisect(d, e, 10, 14);
+  for (index_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(mid[static_cast<size_t>(i)], dd[static_cast<size_t>(10 + i)],
+                1e-11 * n);
+  }
+}
+
+TEST(InverseIteration, ResidualsAndOrthogonality) {
+  Rng rng(3);
+  const index_t n = 48;
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n - 1));
+  for (auto& x : d) x = rng.normal();
+  for (auto& x : e) x = rng.normal();
+
+  const index_t k = 7;
+  const auto vals = eig::eigenvalues_bisect(d, e, 0, k - 1);
+  Matrix z(n, k);
+  eig::inverse_iteration(d, e, vals, z.view());
+
+  EXPECT_LT(orthogonality_error(z.view()), 1e-9 * n);
+  for (index_t j = 0; j < k; ++j) {
+    // || T v - lambda v ||.
+    double resid = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      double tv = d[static_cast<size_t>(i)] * z(i, j);
+      if (i > 0) tv += e[static_cast<size_t>(i - 1)] * z(i - 1, j);
+      if (i + 1 < n) tv += e[static_cast<size_t>(i)] * z(i + 1, j);
+      const double r = tv - vals[static_cast<size_t>(j)] * z(i, j);
+      resid += r * r;
+    }
+    EXPECT_LT(std::sqrt(resid), 1e-9 * n) << "j=" << j;
+  }
+}
+
+class EighRangeTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(EighRangeTest, SubsetMatchesFullSolve) {
+  const auto [n, il, iu] = GetParam();
+  Rng rng(900 + n);
+  const Matrix a = random_symmetric(n, rng);
+
+  eig::EvdOptions opts;
+  opts.tridiag.b = 4;
+  opts.tridiag.k = 8;
+  const eig::EvdResult full = eig::eigh(a.view(), opts);
+  const eig::EvdResult sub = eig::eigh_range(a.view(), il, iu, opts);
+
+  ASSERT_EQ(sub.eigenvalues.size(), static_cast<size_t>(iu - il + 1));
+  ASSERT_EQ(sub.eigenvectors.cols(), iu - il + 1);
+  for (index_t j = 0; j <= iu - il; ++j) {
+    EXPECT_NEAR(sub.eigenvalues[static_cast<size_t>(j)],
+                full.eigenvalues[static_cast<size_t>(il + j)], 1e-10 * n);
+    // Residual against the dense matrix.
+    std::vector<double> av(static_cast<size_t>(n));
+    la::gemv(Trans::kNo, 1.0, a.view(), sub.eigenvectors.view().col(j), 0.0,
+             av.data());
+    double resid = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      const double r = av[static_cast<size_t>(i)] -
+                       sub.eigenvalues[static_cast<size_t>(j)] *
+                           sub.eigenvectors(i, j);
+      resid += r * r;
+    }
+    EXPECT_LT(std::sqrt(resid), 1e-8 * n) << "j=" << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, EighRangeTest,
+                         ::testing::Values(std::tuple{30, 0, 4},
+                                           std::tuple{30, 25, 29},
+                                           std::tuple{30, 10, 20},
+                                           std::tuple{45, 0, 0},
+                                           std::tuple{45, 44, 44},
+                                           std::tuple{45, 0, 44}));
+
+TEST(EighRange, RejectsBadRange) {
+  Rng rng(4);
+  const Matrix a = random_symmetric(8, rng);
+  EXPECT_THROW(eig::eigh_range(a.view(), 5, 3), Error);
+  EXPECT_THROW(eig::eigh_range(a.view(), 0, 8), Error);
+}
+
+class BlockedQ2Test : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BlockedQ2Test, MatchesReferenceApplication) {
+  const auto [n, b, group] = GetParam();
+  Rng rng(800 + n + b);
+  const Matrix a0 = random_symmetric_band(n, b, rng);
+  Matrix a = a0;
+  bc::ChaseLog log;
+  bc::chase_dense(a.view(), b, &log);
+
+  Matrix c0 = random_matrix(n, 6, rng);
+  Matrix c1 = c0;
+  Matrix c2 = c0;
+  bc::apply_q2_left(log, c1.view());
+  bt::apply_q2_left_blocked(log, c2.view(), group);
+  EXPECT_LT(max_abs_diff(c1.view(), c2.view()), 1e-11 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, BlockedQ2Test,
+                         ::testing::Values(std::tuple{24, 4, 1},
+                                           std::tuple{24, 4, 4},
+                                           std::tuple{40, 8, 3},
+                                           std::tuple{40, 8, 100},
+                                           std::tuple{33, 2, 8},
+                                           std::tuple{16, 15, 2}));
+
+class GivensSbtrdTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GivensSbtrdTest, MatchesHouseholderChaseSpectrum) {
+  const auto [n, b] = GetParam();
+  Rng rng(700 + n * 3 + b);
+  const Matrix a0 = random_symmetric_band(n, b, rng);
+
+  // Givens reduction.
+  SymBandMatrix g = extract_band(a0.view(), b, std::min<index_t>(b + 1, n - 1));
+  bc::givens_sbtrd(g, b);
+  EXPECT_LT(off_band_max(g, 1), 1e-12 * n) << "not tridiagonal";
+  std::vector<double> dg, eg;
+  bc::extract_tridiag(g, dg, eg);
+  eig::steqr(dg, eg, nullptr);
+
+  // Householder chase reduction.
+  SymBandMatrix h = extract_band(a0.view(), b, std::min<index_t>(2 * b, n - 1));
+  bc::chase_packed(h, b, nullptr);
+  std::vector<double> dh, eh;
+  bc::extract_tridiag(h, dh, eh);
+  eig::steqr(dh, eh, nullptr);
+
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(dg[static_cast<size_t>(i)], dh[static_cast<size_t>(i)],
+                1e-10 * n)
+        << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GivensSbtrdTest,
+                         ::testing::Values(std::tuple{10, 3}, std::tuple{16, 4},
+                                           std::tuple{33, 5}, std::tuple{48, 8},
+                                           std::tuple{25, 2},
+                                           std::tuple{40, 16}));
+
+TEST(GivensSbtrd, PreservesTraceAndFrobenius) {
+  Rng rng(5);
+  const index_t n = 36, b = 6;
+  const Matrix a0 = random_symmetric_band(n, b, rng);
+  SymBandMatrix g = extract_band(a0.view(), b, b + 1);
+  bc::givens_sbtrd(g, b);
+
+  std::vector<double> d, e;
+  bc::extract_tridiag(g, d, e);
+  double tr = 0.0, fro = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    tr += d[static_cast<size_t>(i)];
+    fro += d[static_cast<size_t>(i)] * d[static_cast<size_t>(i)];
+  }
+  for (index_t i = 0; i + 1 < n; ++i)
+    fro += 2.0 * e[static_cast<size_t>(i)] * e[static_cast<size_t>(i)];
+  double tr0 = 0.0;
+  for (index_t i = 0; i < n; ++i) tr0 += a0(i, i);
+  EXPECT_NEAR(tr, tr0, 1e-10 * n);
+  EXPECT_NEAR(std::sqrt(fro), frobenius_norm(a0.view()), 1e-10 * n);
+}
+
+TEST(GivensSbtrd, RequiresBulgeSlot) {
+  SymBandMatrix band(16, 4);  // kd = 4 == b: no room for the chase bulge
+  EXPECT_THROW(bc::givens_sbtrd(band, 4), Error);
+}
+
+}  // namespace
+}  // namespace tdg

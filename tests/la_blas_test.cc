@@ -1,0 +1,277 @@
+// Unit tests for the dense BLAS substrate (src/la).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/trace.h"
+#include "la/blas.h"
+#include "la/generate.h"
+#include "la/matrix.h"
+
+namespace tdg {
+namespace {
+
+Matrix naive_gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                  ConstMatrixView b, double beta, ConstMatrixView c0) {
+  const index_t m = (ta == Trans::kNo) ? a.rows : a.cols;
+  const index_t k = (ta == Trans::kNo) ? a.cols : a.rows;
+  const index_t n = (tb == Trans::kNo) ? b.cols : b.rows;
+  Matrix c(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (index_t l = 0; l < k; ++l) {
+        const double av = (ta == Trans::kNo) ? a(i, l) : a(l, i);
+        const double bv = (tb == Trans::kNo) ? b(l, j) : b(j, l);
+        s += av * bv;
+      }
+      c(i, j) = alpha * s + beta * c0(i, j);
+    }
+  }
+  return c;
+}
+
+TEST(Blas1, DotAxpyScalNrm2) {
+  std::vector<double> x{1.0, 2.0, -3.0};
+  std::vector<double> y{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(la::dot(3, x.data(), y.data()), 4.0 - 10.0 - 18.0);
+  la::axpy(3, 2.0, x.data(), y.data());
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+  la::scal(3, -1.0, y.data());
+  EXPECT_DOUBLE_EQ(y[0], -6.0);
+  EXPECT_NEAR(la::nrm2(3, x.data()), std::sqrt(14.0), 1e-15);
+}
+
+TEST(Blas1, Nrm2OverflowSafe) {
+  std::vector<double> x{1e300, 1e300};
+  EXPECT_NEAR(la::nrm2(2, x.data()) / (std::sqrt(2.0) * 1e300), 1.0, 1e-14);
+  std::vector<double> z{0.0, 0.0};
+  EXPECT_EQ(la::nrm2(2, z.data()), 0.0);
+}
+
+TEST(Blas2, GemvMatchesNaive) {
+  Rng rng(1);
+  const Matrix a = random_matrix(13, 7, rng);
+  std::vector<double> x(13), y(13), xn(7);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : xn) v = rng.normal();
+
+  // y = A * xn
+  y.assign(13, 0.5);
+  std::vector<double> yref = y;
+  la::gemv(Trans::kNo, 2.0, a.view(), xn.data(), 3.0, y.data());
+  for (index_t i = 0; i < 13; ++i) {
+    double s = 0.0;
+    for (index_t j = 0; j < 7; ++j) s += a(i, j) * xn[static_cast<size_t>(j)];
+    yref[static_cast<size_t>(i)] = 2.0 * s + 3.0 * yref[static_cast<size_t>(i)];
+  }
+  for (index_t i = 0; i < 13; ++i)
+    EXPECT_NEAR(y[static_cast<size_t>(i)], yref[static_cast<size_t>(i)], 1e-12);
+
+  // y2 = A^T * x
+  std::vector<double> y2(7, 0.0);
+  la::gemv(Trans::kTrans, 1.0, a.view(), x.data(), 0.0, y2.data());
+  for (index_t j = 0; j < 7; ++j) {
+    double s = 0.0;
+    for (index_t i = 0; i < 13; ++i) s += a(i, j) * x[static_cast<size_t>(i)];
+    EXPECT_NEAR(y2[static_cast<size_t>(j)], s, 1e-12);
+  }
+}
+
+TEST(Blas2, SymvLowerUsesOnlyLowerTriangle) {
+  Rng rng(2);
+  const index_t n = 9;
+  Matrix a = random_symmetric(n, rng);
+  Matrix poisoned = a;
+  // Poison the strict upper triangle; symv_lower must ignore it.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) poisoned(i, j) = 1e9;
+
+  std::vector<double> x(static_cast<size_t>(n)), y1(static_cast<size_t>(n), 0.0),
+      y2(static_cast<size_t>(n), 0.0);
+  for (auto& v : x) v = rng.normal();
+  la::symv_lower(1.0, poisoned.view(), x.data(), 0.0, y1.data());
+  la::gemv(Trans::kNo, 1.0, a.view(), x.data(), 0.0, y2.data());
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(y1[static_cast<size_t>(i)], y2[static_cast<size_t>(i)], 1e-12);
+}
+
+TEST(Blas2, Syr2LowerMatchesDense) {
+  Rng rng(3);
+  const index_t n = 8;
+  Matrix a = random_symmetric(n, rng);
+  Matrix ref = a;
+  std::vector<double> x(static_cast<size_t>(n)), y(static_cast<size_t>(n));
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+
+  la::syr2_lower(-1.0, x.data(), y.data(), a.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i)
+      ref(i, j) -= x[static_cast<size_t>(i)] * y[static_cast<size_t>(j)] +
+                   y[static_cast<size_t>(i)] * x[static_cast<size_t>(j)];
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) EXPECT_NEAR(a(i, j), ref(i, j), 1e-12);
+}
+
+class GemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeTest, AllTransposeCombosMatchNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(17 + m + 31 * n + 101 * k);
+  for (const Trans ta : {Trans::kNo, Trans::kTrans}) {
+    for (const Trans tb : {Trans::kNo, Trans::kTrans}) {
+      const Matrix a = (ta == Trans::kNo) ? random_matrix(m, k, rng)
+                                          : random_matrix(k, m, rng);
+      const Matrix b = (tb == Trans::kNo) ? random_matrix(k, n, rng)
+                                          : random_matrix(n, k, rng);
+      Matrix c = random_matrix(m, n, rng);
+      const Matrix ref =
+          naive_gemm(ta, tb, 1.7, a.view(), b.view(), -0.3, c.view());
+      la::gemm(ta, tb, 1.7, a.view(), b.view(), -0.3, c.view());
+      EXPECT_LT(max_abs_diff(c.view(), ref.view()), 1e-10)
+          << "ta=" << (ta == Trans::kTrans) << " tb=" << (tb == Trans::kTrans);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapeTest,
+                         ::testing::Values(std::tuple{1, 1, 1},
+                                           std::tuple{5, 3, 4},
+                                           std::tuple{8, 8, 8},
+                                           std::tuple{17, 9, 23},
+                                           std::tuple{33, 65, 7},
+                                           std::tuple{64, 64, 64},
+                                           std::tuple{3, 40, 2}));
+
+TEST(Gemm, BetaZeroOverwritesNanFreeAndKZeroScales) {
+  Matrix a(4, 0), b(0, 5);
+  Matrix c(4, 5);
+  fill(c.view(), 2.0);
+  la::gemm(Trans::kNo, Trans::kNo, 1.0, a.view(), b.view(), 0.5, c.view());
+  EXPECT_DOUBLE_EQ(c(2, 3), 1.0);  // k == 0: only the beta scaling applies
+  la::gemm(Trans::kNo, Trans::kNo, 1.0, a.view(), b.view(), 0.0, c.view());
+  EXPECT_DOUBLE_EQ(c(0, 0), 0.0);
+}
+
+TEST(Syr2k, ReferenceMatchesDenseFormula) {
+  Rng rng(4);
+  const index_t n = 21, k = 6;
+  const Matrix a = random_matrix(n, k, rng);
+  const Matrix b = random_matrix(n, k, rng);
+  Matrix c = random_symmetric(n, rng);
+  Matrix ref = c;
+
+  la::syr2k_lower(1.5, a.view(), b.view(), 0.25, c.view());
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      double s = 0.0;
+      for (index_t l = 0; l < k; ++l) s += a(i, l) * b(j, l) + b(i, l) * a(j, l);
+      ref(i, j) = 1.5 * s + 0.25 * ref(i, j);
+    }
+  }
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) EXPECT_NEAR(c(i, j), ref(i, j), 1e-11);
+}
+
+class Syr2kSquareTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(Syr2kSquareTest, MatchesReference) {
+  const auto [n, k, block] = GetParam();
+  Rng rng(7 + n + k);
+  const Matrix a = random_matrix(n, k, rng);
+  const Matrix b = random_matrix(n, k, rng);
+  Matrix c1 = random_symmetric(n, rng);
+  Matrix c2 = c1;
+
+  la::syr2k_lower(-1.0, a.view(), b.view(), 1.0, c1.view());
+  la::syr2k_lower_square(-1.0, a.view(), b.view(), 1.0, c2.view(), block);
+  double maxd = 0.0;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i)
+      maxd = std::max(maxd, std::abs(c1(i, j) - c2(i, j)));
+  EXPECT_LT(maxd, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Syr2kSquareTest,
+                         ::testing::Values(std::tuple{16, 4, 4},
+                                           std::tuple{17, 5, 4},
+                                           std::tuple{64, 16, 16},
+                                           std::tuple{100, 32, 24},
+                                           std::tuple{33, 8, 0},
+                                           std::tuple{1, 1, 1}));
+
+TEST(Syr2kSquare, TraceContainsSquareGemms) {
+  Rng rng(11);
+  const index_t n = 64, k = 16, block = 16;
+  const Matrix a = random_matrix(n, k, rng);
+  const Matrix b = random_matrix(n, k, rng);
+  Matrix c = random_symmetric(n, rng);
+
+  trace::Recorder rec;
+  {
+    trace::Scope scope(rec);
+    la::syr2k_lower_square(1.0, a.view(), b.view(), 1.0, c.view(), block);
+  }
+  int square_gemms = 0;
+  for (const auto& op : rec.ops()) {
+    if (op.kind == trace::OpKind::kGemm && op.m == block && op.n == block)
+      ++square_gemms;
+  }
+  // 4 block-columns -> 6 off-diagonal blocks, 2 GEMMs each.
+  EXPECT_EQ(square_gemms, 12);
+}
+
+TEST(Trace, FlopCountsAndScoping) {
+  trace::Recorder rec;
+  {
+    trace::Scope scope(rec);
+    trace::record({trace::OpKind::kGemm, 10, 20, 30, 1});
+    trace::record({trace::OpKind::kSyr2k, 8, 8, 4, 1});
+  }
+  trace::record({trace::OpKind::kGemm, 100, 100, 100, 1});  // outside scope
+  ASSERT_EQ(rec.ops().size(), 2u);
+  EXPECT_DOUBLE_EQ(trace::flops(rec.ops()[0]), 2.0 * 10 * 20 * 30);
+  EXPECT_DOUBLE_EQ(trace::flops(rec.ops()[1]), 2.0 * 8 * 9 * 4);
+  EXPECT_EQ(trace::to_string(rec.ops()[0]), "gemm(10x20x30)");
+}
+
+TEST(Generate, SpectrumGeneratorKeepsEigenvaluesOnDiagonalSum) {
+  Rng rng(5);
+  const std::vector<double> evals{-3.0, -1.0, 0.5, 2.0, 10.0};
+  const Matrix a = symmetric_with_spectrum(evals, rng);
+  // Trace is similarity-invariant.
+  double tr = 0.0;
+  for (index_t i = 0; i < 5; ++i) tr += a(i, i);
+  EXPECT_NEAR(tr, 8.5, 1e-10);
+  // Symmetric by construction.
+  EXPECT_LT(max_abs_diff(a.view(), transposed(a.view()).view()), 1e-14);
+}
+
+TEST(Generate, Laplacian1dEigenvaluesFormula) {
+  const auto ev = laplacian_1d_eigenvalues(4);
+  EXPECT_NEAR(ev.front(), 2.0 - 2.0 * std::cos(std::numbers::pi / 5.0), 1e-15);
+  EXPECT_EQ(ev.size(), 4u);
+}
+
+TEST(Matrix, ViewsAndBlocks) {
+  Matrix a(4, 5);
+  a(2, 3) = 7.0;
+  MatrixView b = a.block(1, 2, 3, 3);
+  EXPECT_DOUBLE_EQ(b(1, 1), 7.0);
+  b(1, 1) = 9.0;
+  EXPECT_DOUBLE_EQ(a(2, 3), 9.0);
+  EXPECT_THROW(a.block(2, 2, 4, 1), Error);
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_NEAR(orthogonality_error(i3.view()), 0.0, 1e-16);
+}
+
+}  // namespace
+}  // namespace tdg

@@ -1,0 +1,200 @@
+// Unit tests for the LAPACK-lite layer: Householder reflectors, compact-WY
+// QR, and direct one-stage tridiagonalization.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/blas.h"
+#include "la/generate.h"
+#include "lapack/lapack.h"
+
+namespace tdg {
+namespace {
+
+// Rebuild the dense tridiagonal matrix from d/e.
+Matrix tridiag_dense(const std::vector<double>& d,
+                     const std::vector<double>& e) {
+  const index_t n = static_cast<index_t>(d.size());
+  Matrix t(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    t(i, i) = d[static_cast<size_t>(i)];
+    if (i + 1 < n) {
+      t(i + 1, i) = e[static_cast<size_t>(i)];
+      t(i, i + 1) = e[static_cast<size_t>(i)];
+    }
+  }
+  return t;
+}
+
+TEST(Larfg, AnnihilatesTail) {
+  std::vector<double> x{3.0, 4.0};
+  double alpha = 0.0;
+  const double tau = lapack::larfg(3, alpha, x.data());
+  // H [alpha0; x0] = [beta; 0] with |beta| = ||[alpha0; x0]||.
+  EXPECT_NEAR(std::abs(alpha), 5.0, 1e-14);
+  EXPECT_GT(tau, 0.0);
+}
+
+TEST(Larfg, ZeroTailGivesTauZero) {
+  std::vector<double> x{0.0, 0.0};
+  double alpha = 2.5;
+  const double tau =
+      lapack::larfg(3, alpha, x.data());
+  EXPECT_EQ(tau, 0.0);
+  EXPECT_DOUBLE_EQ(alpha, 2.5);
+}
+
+TEST(Larf, LeftApplicationIsOrthogonalReflection) {
+  Rng rng(1);
+  const index_t m = 10, nc = 4;
+  std::vector<double> v(static_cast<size_t>(m));
+  for (auto& t : v) t = rng.normal();
+  double vv = la::dot(m, v.data(), v.data());
+  const double tau = 2.0 / vv;
+
+  Matrix c = random_matrix(m, nc, rng);
+  const Matrix c0 = c;
+  std::vector<double> work(static_cast<size_t>(nc));
+  lapack::larf_left(v.data(), tau, c.view(), work.data());
+  lapack::larf_left(v.data(), tau, c.view(), work.data());
+  // A true reflection (tau = 2/v'v) is an involution.
+  EXPECT_LT(max_abs_diff(c.view(), c0.view()), 1e-12);
+}
+
+class PanelQrTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PanelQrTest, ReconstructsPanelAndQIsOrthogonal) {
+  const auto [m, k] = GetParam();
+  Rng rng(100 + m + k);
+  Matrix a = random_matrix(m, k, rng);
+  const Matrix a0 = a;
+
+  lapack::WyFactor f = lapack::panel_qr(a.view());
+
+  // Q = I - V T V^T explicit.
+  Matrix q = Matrix::identity(m);
+  lapack::apply_block_reflector_left(f.v.view(), f.t.view(), Trans::kNo,
+                                     q.view());
+  EXPECT_LT(orthogonality_error(q.view()), 1e-12);
+
+  // Q * R should reconstruct the original panel.
+  Matrix r(m, k);
+  for (index_t j = 0; j < k; ++j)
+    for (index_t i = 0; i <= j; ++i) r(i, j) = a(i, j);
+  Matrix qr(m, k);
+  la::gemm(Trans::kNo, Trans::kNo, 1.0, q.view(), r.view(), 0.0, qr.view());
+  EXPECT_LT(max_abs_diff(qr.view(), a0.view()), 1e-10);
+
+  // Q^T applied to the original panel must give R (zero below diagonal).
+  Matrix qta = a0;
+  lapack::apply_block_reflector_left(f.v.view(), f.t.view(), Trans::kTrans,
+                                     qta.view());
+  for (index_t j = 0; j < k; ++j)
+    for (index_t i = j + 1; i < m; ++i) EXPECT_NEAR(qta(i, j), 0.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PanelQrTest,
+                         ::testing::Values(std::tuple{8, 8},
+                                           std::tuple{16, 4},
+                                           std::tuple{33, 5},
+                                           std::tuple{64, 16},
+                                           std::tuple{7, 1}));
+
+TEST(BlockReflector, RightApplicationMatchesExplicitProduct) {
+  Rng rng(7);
+  const index_t m = 12, nc = 9, k = 3;
+  Matrix panel = random_matrix(m, k, rng);
+  lapack::WyFactor f = lapack::panel_qr(panel.view());
+
+  Matrix q = Matrix::identity(m);
+  lapack::apply_block_reflector_left(f.v.view(), f.t.view(), Trans::kNo,
+                                     q.view());
+
+  Matrix c = random_matrix(nc, m, rng);
+  Matrix expect(nc, m);
+  la::gemm(Trans::kNo, Trans::kNo, 1.0, c.view(), q.view(), 0.0,
+           expect.view());
+  lapack::apply_block_reflector_right(f.v.view(), f.t.view(), Trans::kNo,
+                                      c.view());
+  EXPECT_LT(max_abs_diff(c.view(), expect.view()), 1e-11);
+}
+
+class SytrdTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SytrdTest, SimilarToOriginal) {
+  const auto [n, nb] = GetParam();
+  Rng rng(50 + n);
+  const Matrix a0 = random_symmetric(n, rng);
+  Matrix a = a0;
+  std::vector<double> d, e, taus;
+  lapack::sytrd(a.view(), d, e, taus, nb);
+
+  // Reconstruct: Q T Q^T must equal A0.
+  Matrix t = tridiag_dense(d, e);
+  Matrix qt = t;
+  lapack::apply_sytrd_q_left(a.view(), taus, qt.view());  // Q*T
+  Matrix qtq = transposed(qt.view());                     // (Q T)^T = T Q^T
+  lapack::apply_sytrd_q_left(a.view(), taus, qtq.view()); // Q T Q^T
+  EXPECT_LT(max_abs_diff(qtq.view(), a0.view()), 1e-9 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SytrdTest,
+                         ::testing::Values(std::tuple{1, 4},
+                                           std::tuple{2, 4},
+                                           std::tuple{3, 4},
+                                           std::tuple{16, 4},
+                                           std::tuple{33, 8},
+                                           std::tuple{64, 16},
+                                           std::tuple{65, 16},
+                                           std::tuple{96, 32}));
+
+TEST(Sytrd, BlockedMatchesUnblocked) {
+  Rng rng(9);
+  const index_t n = 48;
+  const Matrix a0 = random_symmetric(n, rng);
+
+  Matrix a1 = a0;
+  std::vector<double> d1, e1, t1;
+  lapack::sytd2(a1.view(), d1, e1, t1);
+
+  Matrix a2 = a0;
+  std::vector<double> d2, e2, t2;
+  lapack::sytrd(a2.view(), d2, e2, t2, 8);
+
+  // The tridiagonal forms agree entry-wise (same reflector convention).
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(d1[static_cast<size_t>(i)], d2[static_cast<size_t>(i)], 1e-8);
+  for (index_t i = 0; i + 1 < n; ++i)
+    EXPECT_NEAR(e1[static_cast<size_t>(i)], e2[static_cast<size_t>(i)], 1e-8);
+}
+
+TEST(Sytrd, PreservesTraceAndFrobeniusNorm) {
+  Rng rng(10);
+  const index_t n = 40;
+  const Matrix a0 = random_symmetric(n, rng);
+  Matrix a = a0;
+  std::vector<double> d, e, taus;
+  lapack::sytrd(a.view(), d, e, taus, 8);
+
+  double tr0 = 0.0, tr1 = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    tr0 += a0(i, i);
+    tr1 += d[static_cast<size_t>(i)];
+  }
+  EXPECT_NEAR(tr0, tr1, 1e-9 * n);
+
+  // Frobenius norm is orthogonal-invariant.
+  double f0 = frobenius_norm(a0.view());
+  double f1 = 0.0;
+  for (index_t i = 0; i < n; ++i)
+    f1 += d[static_cast<size_t>(i)] * d[static_cast<size_t>(i)];
+  for (index_t i = 0; i + 1 < n; ++i)
+    f1 += 2.0 * e[static_cast<size_t>(i)] * e[static_cast<size_t>(i)];
+  EXPECT_NEAR(std::sqrt(f1), f0, 1e-9 * n);
+}
+
+}  // namespace
+}  // namespace tdg

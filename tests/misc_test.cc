@@ -1,0 +1,134 @@
+// Coverage for the support layer: PRNG determinism & statistics, symm_lower,
+// timers, and the check machinery.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "la/blas.h"
+#include "band/sym_band.h"
+#include "la/generate.h"
+
+namespace tdg {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123), c(124);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    if (va != c.next_u64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRangeAndMoments) {
+  Rng rng(7);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 5e-3);
+  EXPECT_NEAR(var, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(8);
+  double sum = 0.0, sum2 = 0.0, sum4 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+    sum4 += x * x * x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 2e-2);
+  EXPECT_NEAR(sum2 / kN, 1.0, 3e-2);
+  EXPECT_NEAR(sum4 / kN, 3.0, 2e-1);  // Gaussian kurtosis
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+  EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(SymmLower, MatchesGemmOnSymmetrisedMatrix) {
+  Rng rng(10);
+  const index_t n = 23, w = 6;
+  const Matrix a = random_symmetric(n, rng);
+  Matrix poisoned = a;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < j; ++i) poisoned(i, j) = 1e9;  // must be ignored
+  }
+  const Matrix b = random_matrix(n, w, rng);
+  Matrix c1 = random_matrix(n, w, rng);
+  Matrix c2 = c1;
+
+  la::symm_lower(1.3, poisoned.view(), b.view(), -0.4, c1.view());
+  la::gemm(Trans::kNo, Trans::kNo, 1.3, a.view(), b.view(), -0.4, c2.view());
+  EXPECT_LT(max_abs_diff(c1.view(), c2.view()), 1e-10);
+}
+
+TEST(SymmLower, BetaZeroIgnoresInitialContent) {
+  Rng rng(11);
+  const index_t n = 9, w = 3;
+  const Matrix a = random_symmetric(n, rng);
+  const Matrix b = random_matrix(n, w, rng);
+  Matrix c1(n, w);
+  fill(c1.view(), std::nan(""));
+  la::symm_lower(1.0, a.view(), b.view(), 0.0, c1.view());
+  for (index_t j = 0; j < w; ++j) {
+    for (index_t i = 0; i < n; ++i) EXPECT_TRUE(std::isfinite(c1(i, j)));
+  }
+}
+
+TEST(Timer, MonotoneNonNegative) {
+  WallTimer t;
+  const double a = t.seconds();
+  double b = 0.0;
+  // Burn a few cycles.
+  volatile double x = 1.0;
+  for (int i = 0; i < 100000; ++i) x = x * 1.0000001;
+  b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  t.reset();
+  EXPECT_LE(t.seconds(), b + 1.0);
+}
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    TDG_CHECK(1 == 2, "custom message");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom message"), std::string::npos);
+  }
+}
+
+TEST(Generate, BandGeneratorRespectsBandwidth) {
+  Rng rng(12);
+  const Matrix a = random_symmetric_band(30, 4, rng);
+  EXPECT_EQ(off_band_max(a.view(), 4), 0.0);
+  EXPECT_GT(off_band_max(a.view(), 3), 0.0);
+  EXPECT_LT(max_abs_diff(a.view(), transposed(a.view()).view()), 1e-16);
+}
+
+}  // namespace
+}  // namespace tdg
