@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dbbr_k"
+  "../bench/bench_ablation_dbbr_k.pdb"
+  "CMakeFiles/bench_ablation_dbbr_k.dir/bench_ablation_dbbr_k.cc.o"
+  "CMakeFiles/bench_ablation_dbbr_k.dir/bench_ablation_dbbr_k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dbbr_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_multistep"
+  "../bench/bench_ablation_multistep.pdb"
+  "CMakeFiles/bench_ablation_multistep.dir/bench_ablation_multistep.cc.o"
+  "CMakeFiles/bench_ablation_multistep.dir/bench_ablation_multistep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multistep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_bulge_chasing"
+  "../bench/bench_fig11_bulge_chasing.pdb"
+  "CMakeFiles/bench_fig11_bulge_chasing.dir/bench_fig11_bulge_chasing.cc.o"
+  "CMakeFiles/bench_fig11_bulge_chasing.dir/bench_fig11_bulge_chasing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_bulge_chasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_back_transform"
+  "../bench/bench_fig14_back_transform.pdb"
+  "CMakeFiles/bench_fig14_back_transform.dir/bench_fig14_back_transform.cc.o"
+  "CMakeFiles/bench_fig14_back_transform.dir/bench_fig14_back_transform.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_back_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_tridiag"
+  "../bench/bench_fig15_tridiag.pdb"
+  "CMakeFiles/bench_fig15_tridiag.dir/bench_fig15_tridiag.cc.o"
+  "CMakeFiles/bench_fig15_tridiag.dir/bench_fig15_tridiag.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_tridiag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

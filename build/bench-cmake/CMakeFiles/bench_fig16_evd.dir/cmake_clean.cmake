@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_evd"
+  "../bench/bench_fig16_evd.pdb"
+  "CMakeFiles/bench_fig16_evd.dir/bench_fig16_evd.cc.o"
+  "CMakeFiles/bench_fig16_evd.dir/bench_fig16_evd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_evd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_evd_breakdown"
+  "../bench/bench_fig4_evd_breakdown.pdb"
+  "CMakeFiles/bench_fig4_evd_breakdown.dir/bench_fig4_evd_breakdown.cc.o"
+  "CMakeFiles/bench_fig4_evd_breakdown.dir/bench_fig4_evd_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_evd_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_dbbr_vs_sbr"
+  "../bench/bench_fig9_dbbr_vs_sbr.pdb"
+  "CMakeFiles/bench_fig9_dbbr_vs_sbr.dir/bench_fig9_dbbr_vs_sbr.cc.o"
+  "CMakeFiles/bench_fig9_dbbr_vs_sbr.dir/bench_fig9_dbbr_vs_sbr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_dbbr_vs_sbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig9_dbbr_vs_sbr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_syr2k_model"
+  "../bench/bench_table1_syr2k_model.pdb"
+  "CMakeFiles/bench_table1_syr2k_model.dir/bench_table1_syr2k_model.cc.o"
+  "CMakeFiles/bench_table1_syr2k_model.dir/bench_table1_syr2k_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_syr2k_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_projection.dir/device_projection.cpp.o"
+  "CMakeFiles/device_projection.dir/device_projection.cpp.o.d"
+  "device_projection"
+  "device_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

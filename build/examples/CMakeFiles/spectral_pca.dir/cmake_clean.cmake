@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_pca.dir/spectral_pca.cpp.o"
+  "CMakeFiles/spectral_pca.dir/spectral_pca.cpp.o.d"
+  "spectral_pca"
+  "spectral_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

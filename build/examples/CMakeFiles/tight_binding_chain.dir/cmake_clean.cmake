@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tight_binding_chain.dir/tight_binding_chain.cpp.o"
+  "CMakeFiles/tight_binding_chain.dir/tight_binding_chain.cpp.o.d"
+  "tight_binding_chain"
+  "tight_binding_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tight_binding_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backtransform/apply_q1.cc" "src/CMakeFiles/tdg.dir/backtransform/apply_q1.cc.o" "gcc" "src/CMakeFiles/tdg.dir/backtransform/apply_q1.cc.o.d"
+  "/root/repo/src/backtransform/apply_q2_blocked.cc" "src/CMakeFiles/tdg.dir/backtransform/apply_q2_blocked.cc.o" "gcc" "src/CMakeFiles/tdg.dir/backtransform/apply_q2_blocked.cc.o.d"
+  "/root/repo/src/backtransform/merged_w.cc" "src/CMakeFiles/tdg.dir/backtransform/merged_w.cc.o" "gcc" "src/CMakeFiles/tdg.dir/backtransform/merged_w.cc.o.d"
+  "/root/repo/src/band/sym_band.cc" "src/CMakeFiles/tdg.dir/band/sym_band.cc.o" "gcc" "src/CMakeFiles/tdg.dir/band/sym_band.cc.o.d"
+  "/root/repo/src/bc/band_to_band.cc" "src/CMakeFiles/tdg.dir/bc/band_to_band.cc.o" "gcc" "src/CMakeFiles/tdg.dir/bc/band_to_band.cc.o.d"
+  "/root/repo/src/bc/bulge_chase.cc" "src/CMakeFiles/tdg.dir/bc/bulge_chase.cc.o" "gcc" "src/CMakeFiles/tdg.dir/bc/bulge_chase.cc.o.d"
+  "/root/repo/src/bc/bulge_chase_parallel.cc" "src/CMakeFiles/tdg.dir/bc/bulge_chase_parallel.cc.o" "gcc" "src/CMakeFiles/tdg.dir/bc/bulge_chase_parallel.cc.o.d"
+  "/root/repo/src/bc/givens_sbtrd.cc" "src/CMakeFiles/tdg.dir/bc/givens_sbtrd.cc.o" "gcc" "src/CMakeFiles/tdg.dir/bc/givens_sbtrd.cc.o.d"
+  "/root/repo/src/common/check.cc" "src/CMakeFiles/tdg.dir/common/check.cc.o" "gcc" "src/CMakeFiles/tdg.dir/common/check.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/tdg.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/tdg.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/trace.cc" "src/CMakeFiles/tdg.dir/common/trace.cc.o" "gcc" "src/CMakeFiles/tdg.dir/common/trace.cc.o.d"
+  "/root/repo/src/core/tridiag.cc" "src/CMakeFiles/tdg.dir/core/tridiag.cc.o" "gcc" "src/CMakeFiles/tdg.dir/core/tridiag.cc.o.d"
+  "/root/repo/src/eig/bisect.cc" "src/CMakeFiles/tdg.dir/eig/bisect.cc.o" "gcc" "src/CMakeFiles/tdg.dir/eig/bisect.cc.o.d"
+  "/root/repo/src/eig/drivers.cc" "src/CMakeFiles/tdg.dir/eig/drivers.cc.o" "gcc" "src/CMakeFiles/tdg.dir/eig/drivers.cc.o.d"
+  "/root/repo/src/eig/secular.cc" "src/CMakeFiles/tdg.dir/eig/secular.cc.o" "gcc" "src/CMakeFiles/tdg.dir/eig/secular.cc.o.d"
+  "/root/repo/src/eig/stedc.cc" "src/CMakeFiles/tdg.dir/eig/stedc.cc.o" "gcc" "src/CMakeFiles/tdg.dir/eig/stedc.cc.o.d"
+  "/root/repo/src/eig/steqr.cc" "src/CMakeFiles/tdg.dir/eig/steqr.cc.o" "gcc" "src/CMakeFiles/tdg.dir/eig/steqr.cc.o.d"
+  "/root/repo/src/gpumodel/bc_pipeline_model.cc" "src/CMakeFiles/tdg.dir/gpumodel/bc_pipeline_model.cc.o" "gcc" "src/CMakeFiles/tdg.dir/gpumodel/bc_pipeline_model.cc.o.d"
+  "/root/repo/src/gpumodel/device_spec.cc" "src/CMakeFiles/tdg.dir/gpumodel/device_spec.cc.o" "gcc" "src/CMakeFiles/tdg.dir/gpumodel/device_spec.cc.o.d"
+  "/root/repo/src/gpumodel/kernel_model.cc" "src/CMakeFiles/tdg.dir/gpumodel/kernel_model.cc.o" "gcc" "src/CMakeFiles/tdg.dir/gpumodel/kernel_model.cc.o.d"
+  "/root/repo/src/gpumodel/trace_cost.cc" "src/CMakeFiles/tdg.dir/gpumodel/trace_cost.cc.o" "gcc" "src/CMakeFiles/tdg.dir/gpumodel/trace_cost.cc.o.d"
+  "/root/repo/src/la/blas1.cc" "src/CMakeFiles/tdg.dir/la/blas1.cc.o" "gcc" "src/CMakeFiles/tdg.dir/la/blas1.cc.o.d"
+  "/root/repo/src/la/blas2.cc" "src/CMakeFiles/tdg.dir/la/blas2.cc.o" "gcc" "src/CMakeFiles/tdg.dir/la/blas2.cc.o.d"
+  "/root/repo/src/la/blas3.cc" "src/CMakeFiles/tdg.dir/la/blas3.cc.o" "gcc" "src/CMakeFiles/tdg.dir/la/blas3.cc.o.d"
+  "/root/repo/src/la/generate.cc" "src/CMakeFiles/tdg.dir/la/generate.cc.o" "gcc" "src/CMakeFiles/tdg.dir/la/generate.cc.o.d"
+  "/root/repo/src/la/matrix.cc" "src/CMakeFiles/tdg.dir/la/matrix.cc.o" "gcc" "src/CMakeFiles/tdg.dir/la/matrix.cc.o.d"
+  "/root/repo/src/la/syr2k_square.cc" "src/CMakeFiles/tdg.dir/la/syr2k_square.cc.o" "gcc" "src/CMakeFiles/tdg.dir/la/syr2k_square.cc.o.d"
+  "/root/repo/src/lapack/householder.cc" "src/CMakeFiles/tdg.dir/lapack/householder.cc.o" "gcc" "src/CMakeFiles/tdg.dir/lapack/householder.cc.o.d"
+  "/root/repo/src/lapack/ormqr.cc" "src/CMakeFiles/tdg.dir/lapack/ormqr.cc.o" "gcc" "src/CMakeFiles/tdg.dir/lapack/ormqr.cc.o.d"
+  "/root/repo/src/lapack/qr.cc" "src/CMakeFiles/tdg.dir/lapack/qr.cc.o" "gcc" "src/CMakeFiles/tdg.dir/lapack/qr.cc.o.d"
+  "/root/repo/src/lapack/sytrd.cc" "src/CMakeFiles/tdg.dir/lapack/sytrd.cc.o" "gcc" "src/CMakeFiles/tdg.dir/lapack/sytrd.cc.o.d"
+  "/root/repo/src/sbr/dbbr.cc" "src/CMakeFiles/tdg.dir/sbr/dbbr.cc.o" "gcc" "src/CMakeFiles/tdg.dir/sbr/dbbr.cc.o.d"
+  "/root/repo/src/sbr/sy2sb.cc" "src/CMakeFiles/tdg.dir/sbr/sy2sb.cc.o" "gcc" "src/CMakeFiles/tdg.dir/sbr/sy2sb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/band_to_band_test.cc" "tests/CMakeFiles/tdg_tests.dir/band_to_band_test.cc.o" "gcc" "tests/CMakeFiles/tdg_tests.dir/band_to_band_test.cc.o.d"
+  "/root/repo/tests/bc_test.cc" "tests/CMakeFiles/tdg_tests.dir/bc_test.cc.o" "gcc" "tests/CMakeFiles/tdg_tests.dir/bc_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/tdg_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/tdg_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/eig_test.cc" "tests/CMakeFiles/tdg_tests.dir/eig_test.cc.o" "gcc" "tests/CMakeFiles/tdg_tests.dir/eig_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/tdg_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/tdg_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/gpumodel_test.cc" "tests/CMakeFiles/tdg_tests.dir/gpumodel_test.cc.o" "gcc" "tests/CMakeFiles/tdg_tests.dir/gpumodel_test.cc.o.d"
+  "/root/repo/tests/la_blas_test.cc" "tests/CMakeFiles/tdg_tests.dir/la_blas_test.cc.o" "gcc" "tests/CMakeFiles/tdg_tests.dir/la_blas_test.cc.o.d"
+  "/root/repo/tests/lapack_test.cc" "tests/CMakeFiles/tdg_tests.dir/lapack_test.cc.o" "gcc" "tests/CMakeFiles/tdg_tests.dir/lapack_test.cc.o.d"
+  "/root/repo/tests/misc_test.cc" "tests/CMakeFiles/tdg_tests.dir/misc_test.cc.o" "gcc" "tests/CMakeFiles/tdg_tests.dir/misc_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/tdg_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/tdg_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/sbr_test.cc" "tests/CMakeFiles/tdg_tests.dir/sbr_test.cc.o" "gcc" "tests/CMakeFiles/tdg_tests.dir/sbr_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tdg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

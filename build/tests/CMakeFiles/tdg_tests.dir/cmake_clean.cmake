@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdg_tests.dir/band_to_band_test.cc.o"
+  "CMakeFiles/tdg_tests.dir/band_to_band_test.cc.o.d"
+  "CMakeFiles/tdg_tests.dir/bc_test.cc.o"
+  "CMakeFiles/tdg_tests.dir/bc_test.cc.o.d"
+  "CMakeFiles/tdg_tests.dir/core_test.cc.o"
+  "CMakeFiles/tdg_tests.dir/core_test.cc.o.d"
+  "CMakeFiles/tdg_tests.dir/eig_test.cc.o"
+  "CMakeFiles/tdg_tests.dir/eig_test.cc.o.d"
+  "CMakeFiles/tdg_tests.dir/extensions_test.cc.o"
+  "CMakeFiles/tdg_tests.dir/extensions_test.cc.o.d"
+  "CMakeFiles/tdg_tests.dir/gpumodel_test.cc.o"
+  "CMakeFiles/tdg_tests.dir/gpumodel_test.cc.o.d"
+  "CMakeFiles/tdg_tests.dir/la_blas_test.cc.o"
+  "CMakeFiles/tdg_tests.dir/la_blas_test.cc.o.d"
+  "CMakeFiles/tdg_tests.dir/lapack_test.cc.o"
+  "CMakeFiles/tdg_tests.dir/lapack_test.cc.o.d"
+  "CMakeFiles/tdg_tests.dir/misc_test.cc.o"
+  "CMakeFiles/tdg_tests.dir/misc_test.cc.o.d"
+  "CMakeFiles/tdg_tests.dir/property_test.cc.o"
+  "CMakeFiles/tdg_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/tdg_tests.dir/sbr_test.cc.o"
+  "CMakeFiles/tdg_tests.dir/sbr_test.cc.o.d"
+  "tdg_tests"
+  "tdg_tests.pdb"
+  "tdg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
