@@ -1,0 +1,154 @@
+// Thread-scaling of the CPU BLAS-3 engine: GFLOP/s for the packed gemm and
+// the square-block syr2k across sizes and thread counts. This is the
+// substrate every stage of the pipeline (DBBR trailing updates, the
+// back-transformation GEMMs, the eigensolver's symm) bottoms out in, so its
+// scaling curve bounds the end-to-end trajectory.
+//
+// Besides the human-readable table, each measurement is emitted as one JSON
+// line (prefix "JSON ") so the perf trajectory can scrape
+//   {"bench":"blas3_scaling","op":...,"m":...,"n":...,"k":...,
+//    "threads":...,"seconds":...,"gflops":...}
+//
+// Flags: --nmax=N     largest size to run (default 2048; the acceptance
+//                     shapes gemm 2048x2048x1024 / syr2k n=4096 need
+//                     --nmax=4096)
+//        --maxthreads=T  largest thread count (default 8)
+//        --reps=R     timing repetitions, best-of (default 1)
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "la/blas.h"
+#include "la/generate.h"
+
+namespace {
+
+using namespace tdg;
+
+double best_of(index_t reps, const std::function<double()>& run) {
+  double best = -1.0;
+  for (index_t r = 0; r < reps; ++r) {
+    const double s = run();
+    if (best < 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+void emit(const char* op, index_t m, index_t n, index_t k, int threads,
+          double seconds, double gflops) {
+  std::printf(
+      "JSON {\"bench\":\"blas3_scaling\",\"op\":\"%s\",\"m\":%lld,"
+      "\"n\":%lld,\"k\":%lld,\"threads\":%d,\"seconds\":%.6f,"
+      "\"gflops\":%.3f}\n",
+      op, static_cast<long long>(m), static_cast<long long>(n),
+      static_cast<long long>(k), threads, seconds, gflops);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tdg;
+  const index_t nmax = benchutil::arg_int(argc, argv, "nmax", 2048);
+  const int maxthreads =
+      static_cast<int>(benchutil::arg_int(argc, argv, "maxthreads", 8));
+  const index_t reps = std::max<index_t>(
+      benchutil::arg_int(argc, argv, "reps", 1), 1);
+  Rng rng(12);
+
+  benchutil::header("BLAS-3 engine scaling: packed gemm (m = n, k = n/2)");
+  std::printf("%6s | %8s | %10s | %10s | %8s\n", "n", "threads", "sec",
+              "GFLOP/s", "scaling");
+  benchutil::rule();
+  for (index_t n : {256, 512, 1024, 2048, 4096}) {
+    if (n > nmax) break;
+    const index_t k = n / 2;
+    const Matrix a = random_matrix(n, k, rng);
+    const Matrix b = random_matrix(k, n, rng);
+    Matrix c(n, n);
+    const double flops = 2.0 * static_cast<double>(n) * n * k;
+    double s1 = 0.0;
+    for (int t = 1; t <= maxthreads; t *= 2) {
+      const double s = best_of(reps, [&] {
+        ThreadLimit limit(t);
+        WallTimer timer;
+        la::gemm(Trans::kNo, Trans::kNo, 1.0, a.view(), b.view(), 0.0,
+                 c.view());
+        return timer.seconds();
+      });
+      if (t == 1) s1 = s;
+      std::printf("%6lld | %8d | %10.4f | %10.2f | %7.2fx\n",
+                  static_cast<long long>(n), t, s, flops / s / 1e9, s1 / s);
+      emit("gemm", n, n, k, t, s, flops / s / 1e9);
+    }
+  }
+
+  benchutil::header("BLAS-3 engine scaling: square-block syr2k (k = n/4)");
+  std::printf("%6s | %8s | %10s | %10s | %8s\n", "n", "threads", "sec",
+              "GFLOP/s", "scaling");
+  benchutil::rule();
+  for (index_t n : {512, 1024, 2048, 4096}) {
+    if (n > nmax) break;
+    const index_t k = std::min<index_t>(1024, n / 4);
+    const Matrix a = random_matrix(n, k, rng);
+    const Matrix b = random_matrix(n, k, rng);
+    const Matrix c0 = random_symmetric(n, rng);
+    const double flops = benchutil::syr2k_flops(n, k);
+    double s1 = 0.0;
+    for (int t = 1; t <= maxthreads; t *= 2) {
+      Matrix c = c0;
+      const double s = best_of(reps, [&] {
+        ThreadLimit limit(t);
+        WallTimer timer;
+        la::syr2k_lower_square(-1.0, a.view(), b.view(), 1.0, c.view());
+        return timer.seconds();
+      });
+      if (t == 1) s1 = s;
+      std::printf("%6lld | %8d | %10.4f | %10.2f | %7.2fx\n",
+                  static_cast<long long>(n), t, s, flops / s / 1e9, s1 / s);
+      emit("syr2k_square", n, n, k, t, s, flops / s / 1e9);
+    }
+  }
+
+  // The acceptance shape from the paper's fat-trailing-update regime.
+  if (nmax >= 4096) {
+    benchutil::header("Acceptance shapes (gemm 2048x2048x1024, syr2k n=4096 k=1024)");
+    {
+      const Matrix a = random_matrix(2048, 1024, rng);
+      const Matrix b = random_matrix(1024, 2048, rng);
+      Matrix c(2048, 2048);
+      const double flops = 2.0 * 2048.0 * 2048.0 * 1024.0;
+      for (int t = 1; t <= maxthreads; t *= 2) {
+        const double s = best_of(reps, [&] {
+          ThreadLimit limit(t);
+          WallTimer timer;
+          la::gemm(Trans::kNo, Trans::kNo, 1.0, a.view(), b.view(), 0.0,
+                   c.view());
+          return timer.seconds();
+        });
+        emit("gemm_acceptance", 2048, 2048, 1024, t, s, flops / s / 1e9);
+      }
+    }
+    {
+      const Matrix a = random_matrix(4096, 1024, rng);
+      const Matrix b = random_matrix(4096, 1024, rng);
+      const Matrix c0 = random_symmetric(4096, rng);
+      const double flops = benchutil::syr2k_flops(4096, 1024);
+      for (int t = 1; t <= maxthreads; t *= 2) {
+        Matrix c = c0;
+        const double s = best_of(reps, [&] {
+          ThreadLimit limit(t);
+          WallTimer timer;
+          la::syr2k_lower_square(-1.0, a.view(), b.view(), 1.0, c.view());
+          return timer.seconds();
+        });
+        emit("syr2k_acceptance", 4096, 4096, 1024, t, s, flops / s / 1e9);
+      }
+    }
+  }
+  return 0;
+}

@@ -4,6 +4,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_pool.h"
+
 namespace tdg::bc {
 
 namespace {
@@ -27,8 +29,9 @@ void chase_all_parallel(const Acc& acc, index_t b,
   for (auto& g : gcom) g.store(kNotStarted, std::memory_order_relaxed);
 
   std::atomic<index_t> next_sweep{0};
-  const int nthreads = static_cast<int>(std::min<index_t>(
-      std::max(opts.threads, 1), nsweeps));
+  const int want = opts.threads > 0 ? opts.threads : current_threads();
+  const int nthreads =
+      static_cast<int>(std::min<index_t>(std::max(want, 1), nsweeps));
   const index_t cap = opts.max_parallel_sweeps;
 
   auto worker = [&] {
@@ -69,10 +72,13 @@ void chase_all_parallel(const Acc& acc, index_t b,
     worker();
     return;
   }
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(nthreads));
-  for (int t = 0; t < nthreads; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
+  // Run the sweep workers as persistent-pool peers instead of spawning a
+  // fresh std::thread set per call (the spawn/join overhead dominates
+  // small-n chases). Sweeps are claimed in ascending order, so the lowest
+  // unfinished sweep always belongs to a running peer and the pipeline
+  // makes progress even if some peers start late (queued behind busy
+  // workers).
+  ThreadPool::global().run_concurrent(nthreads, [&](int) { worker(); });
 }
 
 }  // namespace

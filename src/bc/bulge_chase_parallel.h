@@ -18,7 +18,9 @@
 namespace tdg::bc {
 
 struct ParallelChaseOptions {
-  /// Worker threads (>= 1). Values above the sweep count are clamped.
+  /// Worker threads. Values above the sweep count are clamped; <= 0 means
+  /// the ambient thread budget (common/thread_pool.h current_threads()).
+  /// Workers run on the persistent global pool, not per-call threads.
   int threads = 4;
   /// Maximum sweeps in flight (the S of the paper's Section 3.3 pipeline
   /// model). 0 = bounded only by the thread count.

@@ -1,0 +1,206 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace tdg {
+
+namespace {
+
+thread_local int t_limit = 0;
+thread_local bool t_in_pool_task = false;
+
+struct ForState {
+  std::atomic<index_t> next{0};
+  index_t end = 0;
+  index_t total = 0;
+  const std::function<void(index_t)>* fn = nullptr;
+  std::atomic<index_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+// Claim-and-run loop shared by the caller and the helper tasks. The index
+// assignment is dynamic but every fn(i) writes only its own output region,
+// so scheduling order cannot affect results.
+void drive(ForState& st) {
+  for (;;) {
+    const index_t i = st.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= st.end) return;
+    (*st.fn)(i);
+    if (st.done.fetch_add(1, std::memory_order_acq_rel) + 1 == st.total) {
+      std::lock_guard<std::mutex> lk(st.mu);
+      st.cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+int default_threads() {
+  static const int v = [] {
+    if (const char* e = std::getenv("TDG_THREADS")) {
+      const int n = std::atoi(e);
+      if (n >= 1) return std::min(n, kMaxThreads);
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return std::clamp(static_cast<int>(hc == 0 ? 1 : hc), 1, kMaxThreads);
+  }();
+  return v;
+}
+
+int current_threads() { return t_limit > 0 ? t_limit : default_threads(); }
+
+bool in_pool_task() { return t_in_pool_task; }
+
+ThreadLimit::ThreadLimit(int n) : prev_(t_limit) {
+  if (n > 0) t_limit = std::min(n, kMaxThreads);
+}
+
+ThreadLimit::~ThreadLimit() { t_limit = prev_; }
+
+ThreadPool::ThreadPool(int workers) {
+  if (workers <= 0) workers = default_threads() - 1;
+  ensure_workers(workers);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+int ThreadPool::workers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void ThreadPool::ensure_workers(int n) {
+  n = std::min(n, kMaxThreads);
+  std::lock_guard<std::mutex> lk(mu_);
+  while (static_cast<int>(threads_.size()) < n) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_in_pool_task = true;  // tasks on this thread never re-dispatch
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for(index_t begin, index_t end,
+                              const std::function<void(index_t)>& fn) {
+  const index_t n = end - begin;
+  if (n <= 0) return;
+  const int budget = current_threads();
+  if (n == 1 || budget <= 1 || t_in_pool_task) {
+    for (index_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  int helpers = static_cast<int>(std::min<index_t>(n, budget)) - 1;
+  ensure_workers(helpers);
+  helpers = std::min(helpers, workers());
+  if (helpers <= 0) {
+    for (index_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  auto st = std::make_shared<ForState>();
+  st->next.store(begin, std::memory_order_relaxed);
+  st->end = end;
+  st->total = n;
+  st->fn = &fn;  // the caller blocks until every claimed index completed,
+                 // so the reference outlives all uses
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (int h = 0; h < helpers; ++h) {
+      queue_.emplace_back([st] { drive(*st); });
+    }
+  }
+  cv_.notify_all();
+
+  t_in_pool_task = true;  // nested dispatch from the body runs inline
+  drive(*st);
+  t_in_pool_task = false;
+
+  std::unique_lock<std::mutex> lk(st->mu);
+  st->cv.wait(lk, [&] {
+    return st->done.load(std::memory_order_acquire) == st->total;
+  });
+}
+
+void ThreadPool::run_concurrent(int copies,
+                                const std::function<void(int)>& fn) {
+  if (copies <= 0) return;
+  if (copies == 1 || t_in_pool_task) {
+    for (int c = 0; c < copies; ++c) fn(c);
+    return;
+  }
+  ensure_workers(copies - 1);
+
+  struct ConcState {
+    const std::function<void(int)>* fn = nullptr;
+    std::atomic<int> done{0};
+    int total = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto st = std::make_shared<ConcState>();
+  st->fn = &fn;
+  st->total = copies - 1;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (int c = 1; c < copies; ++c) {
+      queue_.emplace_back([st, c] {
+        (*st->fn)(c);
+        if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            st->total) {
+          std::lock_guard<std::mutex> lk2(st->mu);
+          st->cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  t_in_pool_task = true;
+  fn(0);
+  t_in_pool_task = false;
+
+  std::unique_lock<std::mutex> lk(st->mu);
+  st->cv.wait(lk, [&] {
+    return st->done.load(std::memory_order_acquire) == st->total;
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_chunks(index_t total, index_t chunk,
+                     const std::function<void(index_t, index_t)>& body) {
+  if (total <= 0) return;
+  if (chunk <= 0) chunk = total;
+  const index_t nch = (total + chunk - 1) / chunk;
+  ThreadPool::global().parallel_for(0, nch, [&](index_t t) {
+    body(t * chunk, std::min(total, (t + 1) * chunk));
+  });
+}
+
+}  // namespace tdg

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "backtransform/apply_q2_blocked.h"
 #include "backtransform/backtransform.h"
 #include "bc/bulge_chase_parallel.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "lapack/lapack.h"
 
@@ -37,6 +39,9 @@ TridiagResult tridiag_two_stage(ConstMatrixView a,
   const index_t b = std::max<index_t>(1, std::min(opts.b, n - 1));
   r.b = b;
 
+  // Both stages drive the parallel BLAS-3 engine at the requested width.
+  ThreadLimit thread_scope(opts.threads);
+
   Matrix work(n, n);
   copy(a, work.view());
 
@@ -46,10 +51,12 @@ TridiagResult tridiag_two_stage(ConstMatrixView a,
     bo.b = b;
     bo.k = std::max(b, (opts.k / b) * b);
     bo.use_square_syr2k = opts.use_square_syr2k;
+    bo.threads = opts.threads;
     r.stage1 = sbr::dbbr(work.view(), bo);
   } else {
     sbr::BandReductionOptions bo;
     bo.use_square_syr2k = opts.use_square_syr2k;
+    bo.threads = opts.threads;
     r.stage1 = sbr::sy2sb(work.view(), b, bo);
   }
   r.seconds_stage1 = t.seconds();
@@ -93,7 +100,8 @@ TridiagResult tridiagonalize(ConstMatrixView a, const TridiagOptions& opts) {
   return tridiag_two_stage(a, opts);
 }
 
-void apply_q(const TridiagResult& r, MatrixView c, index_t bt_kw) {
+void apply_q(const TridiagResult& r, MatrixView c, const ApplyQOptions& opts) {
+  ThreadLimit thread_scope(opts.threads);
   if (r.method == TridiagMethod::kDirect) {
     TDG_CHECK(r.direct_a.rows() == c.rows,
               "apply_q: factors missing or size mismatch");
@@ -103,9 +111,17 @@ void apply_q(const TridiagResult& r, MatrixView c, index_t bt_kw) {
     return;
   }
   TDG_CHECK(r.stage2.n == c.rows, "apply_q: factors missing or size mismatch");
-  // Q = Q1 Q2, so apply Q2 first, then Q1.
-  bc::apply_q2_left(r.stage2, c);
-  bt::apply_q1_blocked(r.stage1, bt_kw, c);
+  // Q = Q1 Q2, so apply Q2 first, then Q1. Q2 goes through the chunked
+  // (column-parallel) application; within-sweep reflectors have disjoint
+  // row ranges, so it matches the one-at-a-time order bit for bit.
+  bt::apply_q2_left_blocked(r.stage2, c, std::max<index_t>(opts.q2_group, 1));
+  bt::apply_q1_blocked(r.stage1, opts.bt_kw, c);
+}
+
+void apply_q(const TridiagResult& r, MatrixView c, index_t bt_kw) {
+  ApplyQOptions opts;
+  opts.bt_kw = bt_kw;
+  apply_q(r, c, opts);
 }
 
 }  // namespace tdg

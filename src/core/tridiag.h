@@ -41,6 +41,10 @@ struct TridiagOptions {
   index_t max_parallel_sweeps = 0;
   /// Record reflectors so eigenvectors can be back-transformed.
   bool want_factors = true;
+  /// Thread budget for the BLAS-3 engine across both stages (0 = inherit
+  /// the ambient ThreadLimit / TDG_THREADS default). Results are bitwise
+  /// identical for any value.
+  int threads = 0;
 };
 
 struct TridiagResult {
@@ -64,9 +68,22 @@ struct TridiagResult {
 /// Reduce symmetric `a` (lower triangle read) to tridiagonal form.
 TridiagResult tridiagonalize(ConstMatrixView a, const TridiagOptions& opts);
 
+/// Back-transformation options (stage-2 chunked Q2 + stage-1 blocked Q1).
+struct ApplyQOptions {
+  /// Group width for the stage-1 blocked back transformation.
+  index_t bt_kw = 256;
+  /// Reflector-chunk size for the stage-2 blocked Q2 application.
+  index_t q2_group = 64;
+  /// Thread budget for the back-transformation kernels (0 = inherit).
+  int threads = 0;
+};
+
 /// Apply the accumulated orthogonal factor: c <- Q c where A = Q T Q^T.
 /// Requires the result to have been computed with want_factors = true.
 /// `bt_kw`: group width for the stage-1 blocked back transformation.
 void apply_q(const TridiagResult& r, MatrixView c, index_t bt_kw = 256);
+
+/// Same, with the full option set.
+void apply_q(const TridiagResult& r, MatrixView c, const ApplyQOptions& opts);
 
 }  // namespace tdg

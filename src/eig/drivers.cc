@@ -1,5 +1,6 @@
 #include "eig/drivers.h"
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "eig/bisect.h"
 #include "eig/eig.h"
@@ -11,6 +12,10 @@ EvdResult eigh(ConstMatrixView a, const EvdOptions& opts) {
   const index_t n = a.rows;
   EvdResult res;
   if (n == 0) return res;
+
+  // One thread budget for the whole pipeline: tridiagonalization, the D&C
+  // merge GEMMs, and the Q2/Q1 back transformations.
+  ThreadLimit thread_scope(opts.tridiag.threads);
 
   TridiagOptions topts = opts.tridiag;
   topts.want_factors = opts.vectors;
@@ -56,6 +61,8 @@ EvdResult eigh_range(ConstMatrixView a, index_t il, index_t iu,
   TDG_CHECK(a.rows == a.cols, "eigh_range: matrix must be square");
   const index_t n = a.rows;
   TDG_CHECK(0 <= il && il <= iu && iu < n, "eigh_range: bad index range");
+
+  ThreadLimit thread_scope(opts.tridiag.threads);
 
   TridiagOptions topts = opts.tridiag;
   topts.want_factors = opts.vectors;

@@ -63,10 +63,25 @@ void symm_lower(double alpha, ConstMatrixView a, ConstMatrixView b,
 /// schedule: the lower triangle is tiled into square blocks which are
 /// processed by anti-diagonal ("iteration 1: diagonal blocks, iteration 2:
 /// first off-diagonal blocks, ..."), each block a square GEMM. All blocks
-/// within one iteration are independent.
+/// within one iteration are independent and are dispatched to the thread
+/// pool (the CPU realization of the paper's streamed schedule).
 /// `block` is the square tile size (0 = pick a default).
 void syr2k_lower_square(double alpha, ConstMatrixView a, ConstMatrixView b,
                         double beta, MatrixView c, index_t block = 0);
+
+namespace detail {
+
+// Untraced kernel entry points for schedulers that dispatch blocks onto the
+// thread pool. Pool workers carry no trace recorder (common/trace.h is
+// thread-local), so the scheduler records the per-block ops on its own
+// thread and routes the arithmetic through these. Shapes must already be
+// validated by the caller.
+void gemm_notrace(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                  ConstMatrixView b, double beta, MatrixView c);
+void syr2k_lower_notrace(double alpha, ConstMatrixView a, ConstMatrixView b,
+                         double beta, MatrixView c);
+
+}  // namespace detail
 
 }  // namespace la
 }  // namespace tdg

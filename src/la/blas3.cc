@@ -1,5 +1,31 @@
-#include <algorithm>
+// Cache-blocked, pool-parallel BLAS-3 kernels.
+//
+// Structure (BLIS-style, sized for a laptop-class core):
+//   * gemm packs op(A)/op(B) K-panels of depth kKC into contiguous buffers
+//     — transposition is absorbed during the pack, so the Trans cases cost
+//     one panel copy instead of a full-matrix transpose — then sweeps an
+//     MC x NC block grid whose tiles run the 8-column register micro-kernel
+//     and are distributed over the thread pool.
+//   * syr2k_lower processes fixed-width column blocks of the lower triangle
+//     in parallel, with the k loop hoisted so each A/B column is streamed
+//     once per block instead of once per column.
+//   * symm_lower parallelizes over output-column blocks.
+//
+// Determinism: the block grid depends only on the shape (never the thread
+// count), every tile is computed by one thread with a fixed inner loop
+// order, and the K dimension is always walked ascending per element —
+// results are bitwise identical for any thread count, and bitwise identical
+// to the original single-threaded column-sweep kernels.
+//
+// Tracing: the public entry points record one op on the calling thread;
+// pool workers run the untraced detail:: kernels (common/trace.h is
+// thread-local), so recorded traces are thread-count invariant.
 
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "la/blas.h"
 
@@ -7,11 +33,25 @@ namespace tdg::la {
 
 namespace {
 
+// Cache-block sizes: the packed A tile (kMC x kKC doubles = 256 KiB) targets
+// L2; the 8-column C strip of a tile (kMC x 8 doubles = 8 KiB) lives in L1
+// across the K sweep; kNC bounds the packed B panel working set per task.
+constexpr index_t kMC = 128;
+constexpr index_t kKC = 256;
+constexpr index_t kNC = 512;
+
+// NN problems below this flop volume skip packing and dispatch entirely
+// (the hot skinny panel-factor GEMMs in the band reduction).
+constexpr index_t kSmallGemmVolume = 64 * 64 * 64;
+
+// Column-block width for the syr2k / symm parallel sweeps.
+constexpr index_t kJB = 32;
+
 // Core kernel: C = alpha * A(m x k) * B(k x n) + beta * C, no transposes.
 // Column-register blocking: 8 output columns per pass so each A column is
 // read once per 8 C columns.
-void gemm_nn(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
-             MatrixView c) {
+void gemm_nn_kernel(double alpha, ConstMatrixView a, ConstMatrixView b,
+                    double beta, MatrixView c) {
   const index_t m = c.rows;
   const index_t n = c.cols;
   const index_t k = a.cols;
@@ -60,12 +100,142 @@ void gemm_nn(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
   }
 }
 
-// Materialise op(X) as a plain matrix when a transpose is requested, so the
-// single NN kernel serves all four cases. The O(mk) pack cost is dominated
-// by the O(mnk) multiply.
-Matrix pack_transposed(ConstMatrixView x) { return transposed(x); }
+// Pack op(A)(:, pc:pc+kc) into dst (m x kc column-major, ld = m),
+// parallel over disjoint row ranges.
+void pack_a_panel(Trans ta, ConstMatrixView a, index_t pc, index_t kc,
+                  index_t m, double* dst) {
+  parallel_chunks(m, kMC, [&](index_t lo, index_t hi) {
+    if (ta == Trans::kNo) {
+      for (index_t l = 0; l < kc; ++l) {
+        std::memcpy(dst + lo + l * m, a.col(pc + l) + lo,
+                    static_cast<std::size_t>(hi - lo) * sizeof(double));
+      }
+    } else {
+      // op(A)(i, l) = a(pc + l, i): read each source column contiguously.
+      for (index_t i = lo; i < hi; ++i) {
+        const double* ai = a.col(i) + pc;
+        for (index_t l = 0; l < kc; ++l) dst[i + l * m] = ai[l];
+      }
+    }
+  });
+}
+
+// Pack op(B)(pc:pc+kc, :) into dst (kc x n column-major, ld = kc),
+// parallel over disjoint column ranges.
+void pack_b_panel(Trans tb, ConstMatrixView b, index_t pc, index_t kc,
+                  index_t n, double* dst) {
+  parallel_chunks(n, kNC, [&](index_t lo, index_t hi) {
+    if (tb == Trans::kNo) {
+      for (index_t j = lo; j < hi; ++j) {
+        std::memcpy(dst + j * kc, b.col(j) + pc,
+                    static_cast<std::size_t>(kc) * sizeof(double));
+      }
+    } else {
+      // op(B)(l, j) = b(j, pc + l): read each source column contiguously.
+      for (index_t l = 0; l < kc; ++l) {
+        const double* bl = b.col(pc + l);
+        for (index_t j = lo; j < hi; ++j) dst[l + j * kc] = bl[j];
+      }
+    }
+  });
+}
+
+void scale_columns(double beta, MatrixView c) {
+  if (beta == 1.0) return;
+  for (index_t j = 0; j < c.cols; ++j) {
+    double* cj = c.col(j);
+    for (index_t i = 0; i < c.rows; ++i) cj[i] *= beta;
+  }
+}
+
+// Packed MC x KC x NC loop nest. The K loop stays outermost and ascending,
+// so each C element accumulates its k contributions in exactly the order
+// the unblocked kernel used.
+void gemm_packed(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                 ConstMatrixView b, double beta, MatrixView c) {
+  const index_t m = c.rows;
+  const index_t n = c.cols;
+  const index_t k = (ta == Trans::kNo) ? a.cols : a.rows;
+
+  const index_t kc_max = std::min(k, kKC);
+  std::vector<double> apack(static_cast<std::size_t>(m) * kc_max);
+  std::vector<double> bpack(static_cast<std::size_t>(kc_max) * n);
+  const index_t nmb = (m + kMC - 1) / kMC;
+  const index_t nnb = (n + kNC - 1) / kNC;
+
+  for (index_t pc = 0; pc < k; pc += kKC) {
+    const index_t kc = std::min(kKC, k - pc);
+    pack_a_panel(ta, a, pc, kc, m, apack.data());
+    pack_b_panel(tb, b, pc, kc, n, bpack.data());
+    const ConstMatrixView ap{apack.data(), m, kc, m};
+    const ConstMatrixView bp{bpack.data(), kc, n, kc};
+    const double beta_eff = (pc == 0) ? beta : 1.0;
+
+    ThreadPool::global().parallel_for(0, nmb * nnb, [&](index_t t) {
+      const index_t bi = t % nmb;
+      const index_t bj = t / nmb;
+      const index_t i0 = bi * kMC;
+      const index_t j0 = bj * kNC;
+      const index_t mb = std::min(kMC, m - i0);
+      const index_t nb = std::min(kNC, n - j0);
+      gemm_nn_kernel(alpha, ap.block(i0, 0, mb, kc), bp.block(0, j0, kc, nb),
+                     beta_eff, c.block(i0, j0, mb, nb));
+    });
+  }
+}
 
 }  // namespace
+
+namespace detail {
+
+void gemm_notrace(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                  ConstMatrixView b, double beta, MatrixView c) {
+  const index_t m = c.rows;
+  const index_t n = c.cols;
+  const index_t k = (ta == Trans::kNo) ? a.cols : a.rows;
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0) {
+    scale_columns(beta, c);
+    return;
+  }
+  if (ta == Trans::kNo && tb == Trans::kNo && m * n * k <= kSmallGemmVolume) {
+    gemm_nn_kernel(alpha, a, b, beta, c);
+    return;
+  }
+  gemm_packed(ta, tb, alpha, a, b, beta, c);
+}
+
+void syr2k_lower_notrace(double alpha, ConstMatrixView a, ConstMatrixView b,
+                         double beta, MatrixView c) {
+  const index_t n = c.rows;
+  const index_t k = a.cols;
+  // Fixed kJB-column blocks of the lower triangle, distributed over the
+  // pool; within a block the k loop is hoisted so the streamed A/B columns
+  // serve every block column. Each element still accumulates in ascending
+  // l order — bitwise identical to the plain column sweep.
+  parallel_chunks(n, kJB, [&](index_t lo, index_t hi) {
+    if (beta != 1.0) {
+      for (index_t j = lo; j < hi; ++j) {
+        double* cj = c.col(j);
+        for (index_t i = j; i < n; ++i) cj[i] *= beta;
+      }
+    }
+    for (index_t l = 0; l < k; ++l) {
+      const double* al = a.col(l);
+      const double* bl = b.col(l);
+      for (index_t j = lo; j < hi; ++j) {
+        const double abj = alpha * b(j, l);
+        const double aaj = alpha * a(j, l);
+        double* cj = c.col(j);
+        for (index_t i = j; i < n; ++i) {
+          cj[i] += abj * al[i] + aaj * bl[i];
+        }
+      }
+    }
+  });
+}
+
+}  // namespace detail
 
 void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
           ConstMatrixView b, double beta, MatrixView c) {
@@ -76,31 +246,7 @@ void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
   TDG_CHECK(opa_rows == c.rows && opb_cols == c.cols && opa_cols == opb_rows,
             "gemm: shape mismatch");
   trace::record({trace::OpKind::kGemm, c.rows, c.cols, opa_cols, 1});
-
-  if (c.rows == 0 || c.cols == 0) return;
-  if (opa_cols == 0 || alpha == 0.0) {
-    if (beta != 1.0) {
-      for (index_t j = 0; j < c.cols; ++j) {
-        double* cj = c.col(j);
-        for (index_t i = 0; i < c.rows; ++i) cj[i] *= beta;
-      }
-    }
-    return;
-  }
-
-  if (ta == Trans::kNo && tb == Trans::kNo) {
-    gemm_nn(alpha, a, b, beta, c);
-  } else if (ta == Trans::kTrans && tb == Trans::kNo) {
-    const Matrix at = pack_transposed(a);
-    gemm_nn(alpha, at.view(), b, beta, c);
-  } else if (ta == Trans::kNo && tb == Trans::kTrans) {
-    const Matrix bt = pack_transposed(b);
-    gemm_nn(alpha, a, bt.view(), beta, c);
-  } else {
-    const Matrix at = pack_transposed(a);
-    const Matrix bt = pack_transposed(b);
-    gemm_nn(alpha, at.view(), bt.view(), beta, c);
-  }
+  detail::gemm_notrace(ta, tb, alpha, a, b, beta, c);
 }
 
 void syr2k_lower(double alpha, ConstMatrixView a, ConstMatrixView b,
@@ -109,24 +255,7 @@ void syr2k_lower(double alpha, ConstMatrixView a, ConstMatrixView b,
   TDG_CHECK(a.rows == c.rows && b.rows == c.rows && a.cols == b.cols,
             "syr2k_lower: shape mismatch");
   trace::record({trace::OpKind::kSyr2k, c.rows, c.rows, a.cols, 1});
-
-  const index_t n = c.rows;
-  const index_t k = a.cols;
-  for (index_t j = 0; j < n; ++j) {
-    double* cj = c.col(j);
-    if (beta != 1.0) {
-      for (index_t i = j; i < n; ++i) cj[i] *= beta;
-    }
-    for (index_t l = 0; l < k; ++l) {
-      const double abj = alpha * b(j, l);
-      const double aaj = alpha * a(j, l);
-      const double* al = a.col(l);
-      const double* bl = b.col(l);
-      for (index_t i = j; i < n; ++i) {
-        cj[i] += abj * al[i] + aaj * bl[i];
-      }
-    }
-  }
+  detail::syr2k_lower_notrace(alpha, a, b, beta, c);
 }
 
 void symm_lower(double alpha, ConstMatrixView a, ConstMatrixView b,
@@ -138,33 +267,37 @@ void symm_lower(double alpha, ConstMatrixView a, ConstMatrixView b,
 
   const index_t n = a.rows;
   const index_t w = c.cols;
-  if (beta != 1.0) {
-    for (index_t j = 0; j < w; ++j) {
-      double* cj = c.col(j);
-      if (beta == 0.0) {
-        std::fill(cj, cj + n, 0.0);
-      } else {
-        for (index_t i = 0; i < n; ++i) cj[i] *= beta;
+  // Output columns are independent; distribute fixed-width column blocks
+  // over the pool, each running the one-pass lower-triangle sweep.
+  parallel_chunks(w, kJB, [&](index_t lo, index_t hi) {
+    if (beta != 1.0) {
+      for (index_t j = lo; j < hi; ++j) {
+        double* cj = c.col(j);
+        if (beta == 0.0) {
+          std::fill(cj, cj + n, 0.0);
+        } else {
+          for (index_t i = 0; i < n; ++i) cj[i] *= beta;
+        }
       }
     }
-  }
-  // One pass over the stored (lower) columns of A; column l contributes to
-  // rows l..n-1 directly and to row l via the mirrored entries.
-  for (index_t l = 0; l < n; ++l) {
-    const double* al = a.col(l);
-    for (index_t j = 0; j < w; ++j) {
-      double* cj = c.col(j);
-      const double* bj = b.col(j);
-      const double abl = alpha * bj[l];
-      cj[l] += abl * al[l];
-      double s = 0.0;
-      for (index_t i = l + 1; i < n; ++i) {
-        cj[i] += abl * al[i];
-        s += al[i] * bj[i];
+    // One pass over the stored (lower) columns of A; column l contributes
+    // to rows l..n-1 directly and to row l via the mirrored entries.
+    for (index_t l = 0; l < n; ++l) {
+      const double* al = a.col(l);
+      for (index_t j = lo; j < hi; ++j) {
+        double* cj = c.col(j);
+        const double* bj = b.col(j);
+        const double abl = alpha * bj[l];
+        cj[l] += abl * al[l];
+        double s = 0.0;
+        for (index_t i = l + 1; i < n; ++i) {
+          cj[i] += abl * al[i];
+          s += al[i] * bj[i];
+        }
+        cj[l] += alpha * s;
       }
-      cj[l] += alpha * s;
     }
-  }
+  });
 }
 
 }  // namespace tdg::la

@@ -9,11 +9,17 @@
 // blocks within an iteration are independent (reorderable / streamable), and
 // the shape is friendly to modern GPU tensor pipes.
 //
-// Here the identical schedule runs on the CPU; each block lands in the trace
-// as a square GEMM, which is what the device model prices.
+// Here the identical schedule runs on the CPU, with the paper's streaming
+// realized on the thread pool: the independent blocks of each anti-diagonal
+// are dispatched concurrently (disjoint C tiles, so any worker count gives
+// bitwise-identical results). Each block still lands in the trace as a
+// square GEMM — recorded on the dispatching thread, since pool workers
+// carry no recorder — which is what the device model prices.
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+#include "common/trace.h"
 #include "la/blas.h"
 
 namespace tdg::la {
@@ -28,10 +34,24 @@ void syr2k_lower_square(double alpha, ConstMatrixView a, ConstMatrixView b,
   if (block <= 0) block = std::min<index_t>(512, n);
 
   const index_t nblk = (n + block - 1) / block;
+  const index_t k = a.cols;
 
   // Iterate by sub-diagonal distance d; blocks (bi = bj + d, bj).
   for (index_t d = 0; d < nblk; ++d) {
-    for (index_t bj = 0; bj + d < nblk; ++bj) {
+    const index_t nbd = nblk - d;  // independent blocks in this iteration
+    for (index_t bj = 0; bj < nbd; ++bj) {
+      // Record the block ops in schedule order before dispatching, exactly
+      // as the serial traced kernels would have.
+      const index_t ib = std::min(block, n - (bj + d) * block);
+      const index_t jb = std::min(block, n - bj * block);
+      if (d == 0) {
+        trace::record({trace::OpKind::kSyr2k, ib, ib, k, 1});
+      } else {
+        trace::record({trace::OpKind::kGemm, ib, jb, k, 1});
+        trace::record({trace::OpKind::kGemm, ib, jb, k, 1});
+      }
+    }
+    ThreadPool::global().parallel_for(0, nbd, [&](index_t bj) {
       const index_t bi = bj + d;
       const index_t j0 = bj * block;
       const index_t i0 = bi * block;
@@ -39,18 +59,21 @@ void syr2k_lower_square(double alpha, ConstMatrixView a, ConstMatrixView b,
       const index_t ib = std::min(block, n - i0);
       if (d == 0) {
         // Diagonal block: lower triangle only.
-        syr2k_lower(alpha, a.block(i0, 0, ib, a.cols), b.block(i0, 0, ib, b.cols),
-                    beta, c.block(i0, j0, ib, jb));
+        detail::syr2k_lower_notrace(alpha, a.block(i0, 0, ib, a.cols),
+                                    b.block(i0, 0, ib, b.cols), beta,
+                                    c.block(i0, j0, ib, jb));
       } else {
         // Off-diagonal block: two square GEMMs,
         //   C_blk = beta C_blk + alpha A_i B_j^T + alpha B_i A_j^T.
         MatrixView cblk = c.block(i0, j0, ib, jb);
-        gemm(Trans::kNo, Trans::kTrans, alpha, a.block(i0, 0, ib, a.cols),
-             b.block(j0, 0, jb, b.cols), beta, cblk);
-        gemm(Trans::kNo, Trans::kTrans, alpha, b.block(i0, 0, ib, b.cols),
-             a.block(j0, 0, jb, a.cols), 1.0, cblk);
+        detail::gemm_notrace(Trans::kNo, Trans::kTrans, alpha,
+                             a.block(i0, 0, ib, a.cols),
+                             b.block(j0, 0, jb, b.cols), beta, cblk);
+        detail::gemm_notrace(Trans::kNo, Trans::kTrans, alpha,
+                             b.block(i0, 0, ib, b.cols),
+                             a.block(j0, 0, jb, a.cols), 1.0, cblk);
       }
-    }
+    });
   }
 }
 

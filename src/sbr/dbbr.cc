@@ -18,6 +18,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "sbr/internal.h"
 #include "sbr/sbr.h"
 
@@ -43,6 +44,9 @@ BandFactor dbbr(MatrixView a, const BandReductionOptions& opts) {
   TDG_CHECK(a.rows == a.cols, "dbbr: matrix must be square");
   TDG_CHECK(b >= 1 && b < std::max<index_t>(n, 2), "dbbr: need 1 <= b < n");
   TDG_CHECK(k >= b && k % b == 0, "dbbr: k must be a positive multiple of b");
+  // Drive the parallel BLAS-3 engine at the requested width for the whole
+  // reduction (JIT panel GEMMs, symm, and the fat trailing syr2k).
+  ThreadLimit thread_scope(opts.threads);
 
   BandFactor f;
   f.n = n;

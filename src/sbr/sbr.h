@@ -51,6 +51,10 @@ struct BandReductionOptions {
   bool use_square_syr2k = true;
   /// Square-block size for the custom syr2k (0 = default).
   index_t syr2k_block = 0;
+  /// Thread budget for the BLAS-3 engine driving the panel and trailing
+  /// updates (0 = inherit the ambient ThreadLimit / TDG_THREADS default).
+  /// Any thread count produces bitwise-identical results.
+  int threads = 0;
 };
 
 /// Classic SBR. On return the lower triangle of `a` holds the band matrix

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "sbr/internal.h"
 #include "sbr/sbr.h"
 
@@ -55,6 +56,9 @@ BandFactor sy2sb(MatrixView a, index_t b, const BandReductionOptions& opts) {
   const index_t n = a.rows;
   TDG_CHECK(a.rows == a.cols, "sy2sb: matrix must be square");
   TDG_CHECK(b >= 1 && b < std::max<index_t>(n, 2), "sy2sb: need 1 <= b < n");
+  // Drive the parallel BLAS-3 engine at the requested width for the whole
+  // reduction (panel symm and the per-panel trailing syr2k).
+  ThreadLimit thread_scope(opts.threads);
 
   BandFactor f;
   f.n = n;

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "la/blas.h"
 #include "la/generate.h"
@@ -148,7 +149,57 @@ INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapeTest,
                                            std::tuple{17, 9, 23},
                                            std::tuple{33, 65, 7},
                                            std::tuple{64, 64, 64},
-                                           std::tuple{3, 40, 2}));
+                                           std::tuple{3, 40, 2},
+                                           // Shapes crossing the packed
+                                           // MC/KC/NC cache-block edges,
+                                           // none a block multiple.
+                                           std::tuple{130, 70, 260},
+                                           std::tuple{129, 17, 300},
+                                           std::tuple{40, 530, 70}));
+
+// The packed engine must agree with the naive reference for every transpose
+// combination and every beta class (overwrite, accumulate, scale), at
+// thread counts 1 and 4 — and the two thread counts must agree bitwise,
+// since the block schedule is thread-count invariant.
+class GemmBetaThreadsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GemmBetaThreadsTest, PackedMatchesNaiveAndIsThreadInvariant) {
+  const double beta = GetParam();
+  const index_t m = 130, n = 75, k = 280;  // crosses kMC and kKC
+  Rng rng(91 + static_cast<int>(10 * beta));
+  for (const Trans ta : {Trans::kNo, Trans::kTrans}) {
+    for (const Trans tb : {Trans::kNo, Trans::kTrans}) {
+      const Matrix a = (ta == Trans::kNo) ? random_matrix(m, k, rng)
+                                          : random_matrix(k, m, rng);
+      const Matrix b = (tb == Trans::kNo) ? random_matrix(k, n, rng)
+                                          : random_matrix(n, k, rng);
+      const Matrix c0 = random_matrix(m, n, rng);
+      const Matrix ref = naive_gemm(ta, tb, 1.3, a.view(), b.view(), beta,
+                                    c0.view());
+      Matrix c1 = c0;
+      {
+        ThreadLimit serial(1);
+        la::gemm(ta, tb, 1.3, a.view(), b.view(), beta, c1.view());
+      }
+      Matrix c4 = c0;
+      {
+        ThreadLimit parallel(4);
+        la::gemm(ta, tb, 1.3, a.view(), b.view(), beta, c4.view());
+      }
+      EXPECT_LT(max_abs_diff(c1.view(), ref.view()), 1e-10)
+          << "beta=" << beta << " ta=" << (ta == Trans::kTrans)
+          << " tb=" << (tb == Trans::kTrans);
+      // Bitwise: disjoint output blocks, fixed accumulation order.
+      for (index_t j = 0; j < n; ++j)
+        for (index_t i = 0; i < m; ++i)
+          ASSERT_EQ(c1(i, j), c4(i, j))
+              << "thread-count variance at (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, GemmBetaThreadsTest,
+                         ::testing::Values(0.0, 1.0, 0.5));
 
 TEST(Gemm, BetaZeroOverwritesNanFreeAndKZeroScales) {
   Matrix a(4, 0), b(0, 5);
@@ -207,6 +258,85 @@ INSTANTIATE_TEST_SUITE_P(Shapes, Syr2kSquareTest,
                                            std::tuple{100, 32, 24},
                                            std::tuple{33, 8, 0},
                                            std::tuple{1, 1, 1}));
+
+TEST(Syr2k, LowerAndSymmAreThreadCountInvariant) {
+  Rng rng(57);
+  const index_t n = 180, k = 48, w = 70;
+  const Matrix a = random_matrix(n, k, rng);
+  const Matrix b = random_matrix(n, k, rng);
+  const Matrix sym = random_symmetric(n, rng);
+  const Matrix x = random_matrix(n, w, rng);
+  const Matrix c0 = random_symmetric(n, rng);
+  const Matrix y0 = random_matrix(n, w, rng);
+
+  Matrix c1 = c0, c4 = c0, y1 = y0, y4 = y0;
+  {
+    ThreadLimit serial(1);
+    la::syr2k_lower(-1.0, a.view(), b.view(), 0.5, c1.view());
+    la::symm_lower(1.0, sym.view(), x.view(), 0.5, y1.view());
+  }
+  {
+    ThreadLimit parallel(4);
+    la::syr2k_lower(-1.0, a.view(), b.view(), 0.5, c4.view());
+    la::symm_lower(1.0, sym.view(), x.view(), 0.5, y4.view());
+  }
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) ASSERT_EQ(c1(i, j), c4(i, j));
+  for (index_t j = 0; j < w; ++j)
+    for (index_t i = 0; i < n; ++i) ASSERT_EQ(y1(i, j), y4(i, j));
+}
+
+TEST(Syr2kSquare, ParallelMatchesSerialBitwise) {
+  // The Fig.-7 schedule dispatches independent anti-diagonal blocks to the
+  // pool; every block writes a disjoint C tile with a fixed inner order, so
+  // the parallel lower triangle must equal the serial one exactly.
+  Rng rng(58);
+  const index_t n = 200, k = 48, block = 64;
+  const Matrix a = random_matrix(n, k, rng);
+  const Matrix b = random_matrix(n, k, rng);
+  const Matrix c0 = random_symmetric(n, rng);
+
+  Matrix c1 = c0, c4 = c0;
+  {
+    ThreadLimit serial(1);
+    la::syr2k_lower_square(-1.0, a.view(), b.view(), 1.0, c1.view(), block);
+  }
+  {
+    ThreadLimit parallel(4);
+    la::syr2k_lower_square(-1.0, a.view(), b.view(), 1.0, c4.view(), block);
+  }
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i)
+      ASSERT_EQ(c1(i, j), c4(i, j)) << "(" << i << "," << j << ")";
+}
+
+TEST(Syr2kSquare, TraceIsThreadCountInvariant) {
+  // Ops are recorded on the dispatching thread, so the recorded schedule
+  // must not depend on the worker count.
+  Rng rng(59);
+  const index_t n = 96, k = 16, block = 32;
+  const Matrix a = random_matrix(n, k, rng);
+  const Matrix b = random_matrix(n, k, rng);
+
+  auto run = [&](int threads) {
+    Matrix c = random_symmetric(n, rng);
+    trace::Recorder rec;
+    ThreadLimit limit(threads);
+    trace::Scope scope(rec);
+    la::syr2k_lower_square(1.0, a.view(), b.view(), 1.0, c.view(), block);
+    return rec.ops();
+  };
+  const auto ops1 = run(1);
+  const auto ops4 = run(4);
+  ASSERT_EQ(ops1.size(), ops4.size());
+  for (std::size_t i = 0; i < ops1.size(); ++i) {
+    EXPECT_EQ(ops1[i].kind, ops4[i].kind);
+    EXPECT_EQ(ops1[i].m, ops4[i].m);
+    EXPECT_EQ(ops1[i].n, ops4[i].n);
+    EXPECT_EQ(ops1[i].k, ops4[i].k);
+    EXPECT_EQ(ops1[i].batch, ops4[i].batch);
+  }
+}
 
 TEST(Syr2kSquare, TraceContainsSquareGemms) {
   Rng rng(11);

@@ -1,0 +1,99 @@
+// Unit tests for the persistent worker pool (src/common/thread_pool.h).
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace tdg {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadLimit limit(4);
+  constexpr index_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  ThreadPool::global().parallel_for(0, kN, [&](index_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (index_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingleRanges) {
+  ThreadLimit limit(4);
+  int calls = 0;
+  ThreadPool::global().parallel_for(3, 3, [&](index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ThreadPool::global().parallel_for(7, 8, [&](index_t i) {
+    ++calls;
+    EXPECT_EQ(i, 7);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadLimit limit(4);
+  std::atomic<int> inner_total{0};
+  ThreadPool::global().parallel_for(0, 8, [&](index_t) {
+    // A kernel dispatched from a pool task degrades to serial.
+    ThreadPool::global().parallel_for(0, 16, [&](index_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, RunConcurrentRunsAllCopies) {
+  ThreadLimit limit(4);
+  constexpr int kCopies = 6;  // more copies than the 4-thread budget
+  std::vector<std::atomic<int>> ran(kCopies);
+  for (auto& r : ran) r.store(0);
+  ThreadPool::global().run_concurrent(kCopies, [&](int c) {
+    ran[static_cast<std::size_t>(c)].fetch_add(1);
+  });
+  for (int c = 0; c < kCopies; ++c) EXPECT_EQ(ran[c].load(), 1);
+}
+
+TEST(ThreadPool, ParallelChunksTilesTheRange) {
+  ThreadLimit limit(4);
+  std::vector<int> hits(103, 0);
+  parallel_chunks(103, 10, [&](index_t lo, index_t hi) {
+    EXPECT_EQ(lo % 10, 0);
+    EXPECT_LE(hi - lo, 10);
+    for (index_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadLimitScope, OverridesAndRestores) {
+  const int base = current_threads();
+  {
+    ThreadLimit limit(3);
+    EXPECT_EQ(current_threads(), 3);
+    {
+      ThreadLimit inner(7);
+      EXPECT_EQ(current_threads(), 7);
+      ThreadLimit noop(0);  // 0 keeps the current budget
+      EXPECT_EQ(current_threads(), 7);
+    }
+    EXPECT_EQ(current_threads(), 3);
+  }
+  EXPECT_EQ(current_threads(), base);
+  EXPECT_GE(default_threads(), 1);
+}
+
+TEST(ThreadPool, SingleThreadBudgetRunsInline) {
+  ThreadLimit limit(1);
+  std::vector<int> order;
+  ThreadPool::global().parallel_for(0, 5, [&](index_t i) {
+    order.push_back(static_cast<int>(i));  // safe: inline, sequential
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace tdg
