@@ -1,0 +1,99 @@
+// tune — warm the persistent plan cache ahead of time.
+//
+// Runs the planner's measure tier for a range of problem sizes and stores
+// the winners in the plan-cache file, so later eigh() calls with
+// PlanMode::kMeasure start from a cache hit instead of re-measuring
+// (FFTW's `fftw-wisdom` utility, in miniature).
+//
+//   ./tune                         # n = 256..2048, cache from TDG_PLAN_CACHE
+//   ./tune --n_min=512 --n_max=4096 --cache=plans.json
+//   ./tune --heuristic             # print tier-1 plans only, no measuring
+//
+// The cache file is JSON and safe to inspect or delete; entries are keyed
+// by machine fingerprint, so one file can be shared across machines.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "plan/fingerprint.h"
+#include "plan/plan.h"
+
+namespace {
+
+long long arg_int(int argc, char** argv, const std::string& name,
+                  long long fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return std::stoll(a.substr(prefix.size()));
+  }
+  return fallback;
+}
+
+std::string arg_str(int argc, char** argv, const std::string& name,
+                    const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+  }
+  return fallback;
+}
+
+bool arg_flag(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+void print_plan(long long n, const tdg::plan::Plan& p) {
+  std::printf(
+      "%8lld  %-9s b=%-3lld k=%-5lld nb=%-3lld S=%-3lld bc_threads=%-2d "
+      "bt_kw=%-4lld q2_group=%-3lld smlsiz=%-3lld",
+      n, tdg::plan::to_string(p.source), static_cast<long long>(p.b),
+      static_cast<long long>(p.k), static_cast<long long>(p.sytrd_nb),
+      static_cast<long long>(p.max_parallel_sweeps), p.bc_threads,
+      static_cast<long long>(p.bt_kw), static_cast<long long>(p.q2_group),
+      static_cast<long long>(p.smlsiz));
+  if (p.measured_seconds > 0.0) {
+    std::printf("  proxy=%.4fs", p.measured_seconds);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long long n_min = arg_int(argc, argv, "n_min", 256);
+  const long long n_max = arg_int(argc, argv, "n_max", 2048);
+  const bool heuristic_only = arg_flag(argc, argv, "heuristic");
+
+  std::string cache = arg_str(argc, argv, "cache", "");
+  if (cache.empty()) {
+    if (const char* env = std::getenv("TDG_PLAN_CACHE")) cache = env;
+  }
+  if (cache.empty()) cache = "tdg_plan_cache.json";
+
+  std::printf("machine: %s\n", tdg::plan::machine_fingerprint().c_str());
+  std::printf("cache:   %s\n\n", heuristic_only ? "(none)" : cache.c_str());
+
+  for (long long n = n_min; n <= n_max; n *= 2) {
+    const tdg::plan::ProblemShape shape{static_cast<tdg::index_t>(n),
+                                        /*vectors=*/true, /*subset=*/0};
+    if (heuristic_only) {
+      print_plan(n, tdg::plan::heuristic_plan(shape));
+      continue;
+    }
+    tdg::plan::PlannerOptions popts;
+    popts.cache_path = cache;
+    print_plan(n, tdg::plan::measured_plan(shape, popts));
+  }
+
+  if (!heuristic_only) {
+    std::printf("\ncache warmed; rerun to see every row served from it.\n");
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "lapack/lapack.h"
+#include "plan/plan.h"
 
 namespace tdg {
 
@@ -52,6 +53,7 @@ TridiagResult tridiag_two_stage(ConstMatrixView a,
     bo.k = std::max(b, (opts.k / b) * b);
     bo.use_square_syr2k = opts.use_square_syr2k;
     bo.threads = opts.threads;
+    r.k = bo.k;
     r.stage1 = sbr::dbbr(work.view(), bo);
   } else {
     sbr::BandReductionOptions bo;
@@ -86,22 +88,36 @@ TridiagResult tridiag_two_stage(ConstMatrixView a,
 TridiagResult tridiagonalize(ConstMatrixView a, const TridiagOptions& opts) {
   TDG_CHECK(a.rows == a.cols, "tridiagonalize: matrix must be square");
   TDG_CHECK(a.rows >= 1, "tridiagonalize: empty matrix");
-  if (a.rows == 1 || opts.method == TridiagMethod::kDirect) {
-    if (a.rows == 1) {
-      TridiagResult r;
-      r.method = TridiagMethod::kDirect;
-      r.b = 1;
-      r.d = {a(0, 0)};
-      r.direct_a = Matrix(1, 1);
-      return r;
-    }
-    return tridiag_direct(a, opts);
+  if (a.rows == 1) {
+    TridiagResult r;
+    r.method = TridiagMethod::kDirect;
+    r.b = 1;
+    r.d = {a(0, 0)};
+    r.direct_a = Matrix(1, 1);
+    return r;
   }
-  return tridiag_two_stage(a, opts);
+  // Resolve unset (zero) knobs through the planner, then validate/clamp the
+  // full vector; measure-tier candidates arrive here fully specified with
+  // plan = kManual, so the recursion bottoms out after one level.
+  const plan::ProblemShape shape{a.rows, opts.want_factors, 0};
+  plan::PlannerOptions popts;
+  popts.threads = opts.threads;
+  TridiagOptions o =
+      plan::resolve(opts, a.rows, plan::plan_for(shape, opts.plan, popts));
+  o.plan = PlanMode::kManual;
+  if (o.method == TridiagMethod::kDirect) {
+    return tridiag_direct(a, o);
+  }
+  return tridiag_two_stage(a, o);
 }
 
 void apply_q(const TridiagResult& r, MatrixView c, const ApplyQOptions& opts) {
-  ThreadLimit thread_scope(opts.threads);
+  const plan::ProblemShape shape{c.rows, true, c.cols};
+  plan::PlannerOptions popts;
+  popts.threads = opts.threads;
+  const ApplyQOptions o =
+      plan::resolve(opts, c.rows, plan::plan_for(shape, opts.plan, popts));
+  ThreadLimit thread_scope(o.threads);
   if (r.method == TridiagMethod::kDirect) {
     TDG_CHECK(r.direct_a.rows() == c.rows,
               "apply_q: factors missing or size mismatch");
@@ -114,8 +130,8 @@ void apply_q(const TridiagResult& r, MatrixView c, const ApplyQOptions& opts) {
   // Q = Q1 Q2, so apply Q2 first, then Q1. Q2 goes through the chunked
   // (column-parallel) application; within-sweep reflectors have disjoint
   // row ranges, so it matches the one-at-a-time order bit for bit.
-  bt::apply_q2_left_blocked(r.stage2, c, std::max<index_t>(opts.q2_group, 1));
-  bt::apply_q1_blocked(r.stage1, opts.bt_kw, c);
+  bt::apply_q2_left_blocked(r.stage2, c, o.q2_group);
+  bt::apply_q1_blocked(r.stage1, o.bt_kw, c);
 }
 
 void apply_q(const TridiagResult& r, MatrixView c, index_t bt_kw) {

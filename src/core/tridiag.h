@@ -23,27 +23,40 @@ enum class TridiagMethod {
   kTwoStageDbbr,
 };
 
+/// How unset ("auto", value 0) tuning knobs are resolved at driver entry
+/// (see src/plan/plan.h). Explicitly-set knobs always win, in every mode.
+enum class PlanMode {
+  kManual,     // fill with the legacy static defaults (b=32, k=256, ...)
+  kHeuristic,  // fill from the analytic planner (device-model seeded)
+  kMeasure,    // fill from the empirical search / persistent plan cache
+};
+
 struct TridiagOptions {
   TridiagMethod method = TridiagMethod::kTwoStageDbbr;
-  /// Band width for the two-stage methods (paper default: 64 for MAGMA,
-  /// 32 for DBBR).
-  index_t b = 32;
-  /// DBBR outer block / syr2k inner dimension (paper default: 1024).
-  index_t k = 256;
-  /// Panel width for the direct method.
-  index_t sytrd_nb = 64;
+  /// Resolution policy for knobs left at 0 below.
+  PlanMode plan = PlanMode::kHeuristic;
+  /// Band width for the two-stage methods (paper operating point: 32 for
+  /// DBBR, 64 for MAGMA). 0 = auto.
+  index_t b = 0;
+  /// DBBR outer block / syr2k inner dimension. 0 = auto, which routes the
+  /// default through the planner — the paper's 1024 on large problems.
+  index_t k = 0;
+  /// Panel width for the direct method. 0 = auto.
+  index_t sytrd_nb = 0;
   /// Use the paper's square-block syr2k for trailing updates.
   bool use_square_syr2k = true;
   /// Pipelined bulge chasing (Algorithm 2); false = sequential chase.
   bool parallel_bc = true;
-  int bc_threads = 4;
-  /// Cap on in-flight sweeps (the model's S); 0 = thread-count bound.
+  /// Worker threads for the pipelined chase. 0 = auto.
+  int bc_threads = 0;
+  /// Cap on in-flight sweeps (the model's S); 0 = auto (kManual: bounded
+  /// by the thread count only, the legacy behavior).
   index_t max_parallel_sweeps = 0;
   /// Record reflectors so eigenvectors can be back-transformed.
   bool want_factors = true;
   /// Thread budget for the BLAS-3 engine across both stages (0 = inherit
   /// the ambient ThreadLimit / TDG_THREADS default). Results are bitwise
-  /// identical for any value.
+  /// identical for any value. Never planner-overridden.
   int threads = 0;
 };
 
@@ -52,6 +65,9 @@ struct TridiagResult {
   std::vector<double> e;  // sub-diagonal of T
   /// Effective band width used (clamped to n-1).
   index_t b = 0;
+  /// Effective DBBR outer block used (resolved + rounded to a multiple of
+  /// b); 0 for the direct method.
+  index_t k = 0;
   TridiagMethod method = TridiagMethod::kTwoStageDbbr;
 
   // Factors for back transformation (populated when want_factors):
@@ -70,10 +86,12 @@ TridiagResult tridiagonalize(ConstMatrixView a, const TridiagOptions& opts);
 
 /// Back-transformation options (stage-2 chunked Q2 + stage-1 blocked Q1).
 struct ApplyQOptions {
-  /// Group width for the stage-1 blocked back transformation.
-  index_t bt_kw = 256;
-  /// Reflector-chunk size for the stage-2 blocked Q2 application.
-  index_t q2_group = 64;
+  /// Resolution policy for knobs left at 0 below.
+  PlanMode plan = PlanMode::kHeuristic;
+  /// Group width for the stage-1 blocked back transformation. 0 = auto.
+  index_t bt_kw = 0;
+  /// Reflector-chunk size for the stage-2 blocked Q2 application. 0 = auto.
+  index_t q2_group = 0;
   /// Thread budget for the back-transformation kernels (0 = inherit).
   int threads = 0;
 };

@@ -1,11 +1,49 @@
 #include "eig/drivers.h"
 
+#include <algorithm>
+
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "eig/bisect.h"
 #include "eig/eig.h"
+#include "plan/plan.h"
 
 namespace tdg::eig {
+
+namespace {
+
+/// One planner pass for the whole pipeline: resolve the tridiag options,
+/// the back-transform options, and the solver base case against a single
+/// plan so every stage runs the same configuration.
+struct ResolvedEvd {
+  TridiagOptions tridiag;
+  ApplyQOptions applyq;
+  index_t smlsiz = 32;
+  plan::PlanSource source = plan::PlanSource::kHeuristic;
+};
+
+ResolvedEvd resolve_evd(const EvdOptions& opts, index_t n, index_t subset) {
+  const plan::ProblemShape shape{n, opts.vectors, subset};
+  plan::PlannerOptions popts;
+  popts.threads = opts.tridiag.threads;
+  const plan::Plan p = plan::plan_for(shape, opts.plan, popts);
+
+  ResolvedEvd r;
+  r.source = p.source;
+  r.tridiag = plan::resolve(opts.tridiag, n, p);
+  r.tridiag.plan = PlanMode::kManual;  // already resolved
+  r.tridiag.want_factors = opts.vectors;
+  r.applyq.bt_kw = opts.bt_kw;
+  r.applyq.q2_group = opts.q2_group;
+  r.applyq.threads = opts.tridiag.threads;
+  r.applyq = plan::resolve(r.applyq, n, p);
+  r.applyq.plan = PlanMode::kManual;
+  r.smlsiz = std::clamp<index_t>(opts.smlsiz == 0 ? p.smlsiz : opts.smlsiz, 2,
+                                 std::max<index_t>(n, 2));
+  return r;
+}
+
+}  // namespace
 
 EvdResult eigh(ConstMatrixView a, const EvdOptions& opts) {
   TDG_CHECK(a.rows == a.cols, "eigh: matrix must be square");
@@ -17,11 +55,11 @@ EvdResult eigh(ConstMatrixView a, const EvdOptions& opts) {
   // merge GEMMs, and the Q2/Q1 back transformations.
   ThreadLimit thread_scope(opts.tridiag.threads);
 
-  TridiagOptions topts = opts.tridiag;
-  topts.want_factors = opts.vectors;
+  const ResolvedEvd cfg = resolve_evd(opts, n, /*subset=*/0);
+  res.plan_source = plan::to_string(cfg.source);
 
   WallTimer t;
-  TridiagResult tri = tridiagonalize(a, topts);
+  TridiagResult tri = tridiagonalize(a, cfg.tridiag);
   res.seconds_tridiag = t.seconds();
 
   res.eigenvalues = tri.d;
@@ -40,7 +78,7 @@ EvdResult eigh(ConstMatrixView a, const EvdOptions& opts) {
   t.reset();
   Matrix z(n, n);
   if (opts.solver == TridiagSolver::kDivideConquer) {
-    stedc(res.eigenvalues, e, z.view(), opts.smlsiz);
+    stedc(res.eigenvalues, e, z.view(), cfg.smlsiz);
   } else {
     z = Matrix::identity(n);
     MatrixView zv = z.view();
@@ -50,7 +88,7 @@ EvdResult eigh(ConstMatrixView a, const EvdOptions& opts) {
 
   // Back-transform into eigenvectors of A: V = Q * Z.
   t.reset();
-  apply_q(tri, z.view(), opts.bt_kw);
+  apply_q(tri, z.view(), cfg.applyq);
   res.seconds_backtransform = t.seconds();
   res.eigenvectors = std::move(z);
   return res;
@@ -64,12 +102,12 @@ EvdResult eigh_range(ConstMatrixView a, index_t il, index_t iu,
 
   ThreadLimit thread_scope(opts.tridiag.threads);
 
-  TridiagOptions topts = opts.tridiag;
-  topts.want_factors = opts.vectors;
+  const ResolvedEvd cfg = resolve_evd(opts, n, /*subset=*/iu - il + 1);
 
   EvdResult res;
+  res.plan_source = plan::to_string(cfg.source);
   WallTimer t;
-  TridiagResult tri = tridiagonalize(a, topts);
+  TridiagResult tri = tridiagonalize(a, cfg.tridiag);
   res.seconds_tridiag = t.seconds();
 
   t.reset();
@@ -81,7 +119,7 @@ EvdResult eigh_range(ConstMatrixView a, index_t il, index_t iu,
     res.seconds_solver = t.seconds();
 
     t.reset();
-    apply_q(tri, z.view(), opts.bt_kw);  // only k columns back-transformed
+    apply_q(tri, z.view(), cfg.applyq);  // only k columns back-transformed
     res.seconds_backtransform = t.seconds();
     res.eigenvectors = std::move(z);
   } else {

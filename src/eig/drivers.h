@@ -7,6 +7,7 @@
 // and Q1 (band reduction).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/tridiag.h"
@@ -21,16 +22,24 @@ enum class TridiagSolver {
 
 struct EvdOptions {
   bool vectors = true;
+  /// How unset (zero) knobs across the whole pipeline — tridiag, solver
+  /// base case, back transformations — are resolved (src/plan/plan.h).
+  /// Governs the run end to end; tridiag.plan is ignored under eigh.
+  PlanMode plan = PlanMode::kHeuristic;
   TridiagOptions tridiag;  // which tridiagonalization pipeline to run
   TridiagSolver solver = TridiagSolver::kDivideConquer;
-  index_t smlsiz = 32;   // D&C base-case size
-  index_t bt_kw = 256;   // stage-1 back-transform group width
+  index_t smlsiz = 0;    // D&C base-case size (0 = auto)
+  index_t bt_kw = 0;     // stage-1 back-transform group width (0 = auto)
+  index_t q2_group = 0;  // stage-2 reflector-chunk size (0 = auto)
 };
 
 struct EvdResult {
   std::vector<double> eigenvalues;  // ascending
   Matrix eigenvectors;              // n x n, column j for eigenvalue j
                                     // (empty when vectors == false)
+  /// Where the knob vector came from: "defaults", "heuristic", "measured",
+  /// or "cache" (plan::to_string of the resolved plan's source).
+  std::string plan_source;
   double seconds_tridiag = 0.0;
   double seconds_solver = 0.0;
   double seconds_backtransform = 0.0;

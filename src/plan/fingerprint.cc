@@ -1,0 +1,71 @@
+#include "plan/fingerprint.h"
+
+#include <cstdio>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace tdg::plan {
+
+namespace {
+
+long cache_size(int name) {
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  const long v = ::sysconf(name);
+  return v > 0 ? v : 0;
+#else
+  (void)name;
+  return 0;
+#endif
+}
+
+std::string sanitized(std::string s) {
+  for (char& c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '=' || c == '-' || c == ';';
+    if (!ok) c = '_';
+  }
+  return s;
+}
+
+std::string build_fingerprint() {
+  char buf[256];
+  long l1 = 0, l2 = 0, l3 = 0;
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  l1 = cache_size(_SC_LEVEL1_DCACHE_SIZE);
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  l2 = cache_size(_SC_LEVEL2_CACHE_SIZE);
+#endif
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+  l3 = cache_size(_SC_LEVEL3_CACHE_SIZE);
+#endif
+  const unsigned cores = std::thread::hardware_concurrency();
+#if defined(NDEBUG)
+  const char* mode = "release";
+#else
+  const char* mode = "debug";
+#endif
+#if defined(__VERSION__)
+  const char* cxx = __VERSION__;
+#else
+  const char* cxx = "unknown";
+#endif
+  std::snprintf(buf, sizeof(buf),
+                "cores=%u;l1d=%ld;l2=%ld;l3=%ld;ptr=%u;mode=%s;cxx=%s",
+                cores ? cores : 1u, l1, l2, l3,
+                static_cast<unsigned>(8 * sizeof(void*)), mode, cxx);
+  return sanitized(buf);
+}
+
+}  // namespace
+
+const std::string& machine_fingerprint() {
+  static const std::string fp = build_fingerprint();
+  return fp;
+}
+
+}  // namespace tdg::plan

@@ -1,0 +1,20 @@
+// Machine + build fingerprint for the plan cache.
+//
+// A measured plan is only valid on the machine and build that produced it:
+// the empirical search times real kernels, so core count, cache sizes, the
+// compiler, and the build mode all shift the optimum. The fingerprint is a
+// short flat string of those facts; cache entries are keyed by it, so a
+// cache file can be shared across machines and each only ever reads its own
+// entries (stale entries are merely ignored, never wrong).
+#pragma once
+
+#include <string>
+
+namespace tdg::plan {
+
+/// Stable within a process and across runs of the same build on the same
+/// machine. Characters are restricted to [A-Za-z0-9._=;-] so the string can
+/// be embedded in JSON keys untouched.
+const std::string& machine_fingerprint();
+
+}  // namespace tdg::plan

@@ -1,0 +1,351 @@
+#include "plan/plan_cache.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "plan/fingerprint.h"
+
+namespace tdg::plan {
+
+namespace {
+
+index_t pow2_bucket(index_t n) {
+  index_t p = 1;
+  while (p < n) p *= 2;
+  return p;
+}
+
+const char* method_name(TridiagMethod m) {
+  switch (m) {
+    case TridiagMethod::kDirect: return "direct";
+    case TridiagMethod::kTwoStageClassic: return "classic";
+    case TridiagMethod::kTwoStageDbbr: return "dbbr";
+  }
+  return "dbbr";
+}
+
+bool method_from_name(const std::string& s, TridiagMethod* m) {
+  if (s == "direct") *m = TridiagMethod::kDirect;
+  else if (s == "classic") *m = TridiagMethod::kTwoStageClassic;
+  else if (s == "dbbr") *m = TridiagMethod::kTwoStageDbbr;
+  else return false;
+  return true;
+}
+
+// ---- minimal JSON reader ---------------------------------------------------
+// Supports the subset the cache writes: objects, arrays, double-quoted
+// strings without escape processing beyond \", numbers, true/false/null.
+// Any malformed input makes parsing fail as a whole, which the callers
+// treat as "no cache" (corrupted-file recovery).
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+struct JsonParser {
+  const char* p;
+  const char* end;
+  int depth = 0;
+
+  void skip_ws() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+
+  bool parse_string(std::string* out) {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return false;
+        switch (*p) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          default: return false;  // \uXXXX etc: not produced by the writer
+        }
+        ++p;
+      } else {
+        out->push_back(*p++);
+      }
+    }
+    if (p >= end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_value(JsonValue* out) {
+    if (++depth > 32) return false;
+    skip_ws();
+    if (p >= end) return false;
+    bool ok = false;
+    if (*p == '{') {
+      ++p;
+      out->kind = JsonValue::kObject;
+      skip_ws();
+      if (p < end && *p == '}') {
+        ++p;
+        ok = true;
+      } else {
+        while (p < end) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(&key)) break;
+          skip_ws();
+          if (p >= end || *p != ':') break;
+          ++p;
+          JsonValue v;
+          if (!parse_value(&v)) break;
+          out->obj.emplace_back(std::move(key), std::move(v));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == '}') {
+            ++p;
+            ok = true;
+          }
+          break;
+        }
+      }
+    } else if (*p == '[') {
+      ++p;
+      out->kind = JsonValue::kArray;
+      skip_ws();
+      if (p < end && *p == ']') {
+        ++p;
+        ok = true;
+      } else {
+        while (p < end) {
+          JsonValue v;
+          if (!parse_value(&v)) break;
+          out->arr.push_back(std::move(v));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == ']') {
+            ++p;
+            ok = true;
+          }
+          break;
+        }
+      }
+    } else if (*p == '"') {
+      out->kind = JsonValue::kString;
+      ok = parse_string(&out->str);
+    } else if (end - p >= 4 && std::string_view(p, 4) == "true") {
+      out->kind = JsonValue::kBool;
+      out->b = true;
+      p += 4;
+      ok = true;
+    } else if (end - p >= 5 && std::string_view(p, 5) == "false") {
+      out->kind = JsonValue::kBool;
+      p += 5;
+      ok = true;
+    } else if (end - p >= 4 && std::string_view(p, 4) == "null") {
+      p += 4;
+      ok = true;
+    } else {
+      char* num_end = nullptr;
+      const std::string text(p, end);  // strtod needs a terminated buffer
+      out->num = std::strtod(text.c_str(), &num_end);
+      if (num_end != text.c_str()) {
+        out->kind = JsonValue::kNumber;
+        p += num_end - text.c_str();
+        ok = true;
+      }
+    }
+    --depth;
+    return ok;
+  }
+};
+
+bool parse_json(const std::string& text, JsonValue* out) {
+  JsonParser parser{text.data(), text.data() + text.size()};
+  if (!parser.parse_value(out)) return false;
+  parser.skip_ws();
+  return parser.p == parser.end;
+}
+
+bool get_index(const JsonValue& obj, const char* key, index_t* out) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != JsonValue::kNumber) return false;
+  *out = static_cast<index_t>(v->num);
+  return true;
+}
+
+bool entry_from_json(const JsonValue& e, std::string* key, Plan* plan) {
+  const JsonValue* kv = e.find("key");
+  if (!kv || kv->kind != JsonValue::kString) return false;
+  *key = kv->str;
+  const JsonValue* method = e.find("method");
+  if (!method || method->kind != JsonValue::kString ||
+      !method_from_name(method->str, &plan->method)) {
+    return false;
+  }
+  index_t threads = 0, bc_threads = 0;
+  if (!get_index(e, "b", &plan->b) || !get_index(e, "k", &plan->k) ||
+      !get_index(e, "sytrd_nb", &plan->sytrd_nb) ||
+      !get_index(e, "sweeps", &plan->max_parallel_sweeps) ||
+      !get_index(e, "threads", &threads) ||
+      !get_index(e, "bc_threads", &bc_threads) ||
+      !get_index(e, "bt_kw", &plan->bt_kw) ||
+      !get_index(e, "q2_group", &plan->q2_group) ||
+      !get_index(e, "smlsiz", &plan->smlsiz)) {
+    return false;
+  }
+  plan->threads = static_cast<int>(threads);
+  plan->bc_threads = static_cast<int>(bc_threads);
+  const JsonValue* sec = e.find("seconds");
+  plan->measured_seconds =
+      (sec && sec->kind == JsonValue::kNumber) ? sec->num : 0.0;
+  plan->source = PlanSource::kMeasured;
+  return plan->b >= 1 && plan->k >= 1 && plan->sytrd_nb >= 1;
+}
+
+bool parse_cache_file(const std::string& path,
+                      std::map<std::string, Plan>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  JsonValue root;
+  if (!parse_json(ss.str(), &root) || root.kind != JsonValue::kObject) {
+    return false;
+  }
+  const JsonValue* entries = root.find("entries");
+  if (!entries || entries->kind != JsonValue::kArray) return false;
+  for (const JsonValue& e : entries->arr) {
+    if (e.kind != JsonValue::kObject) return false;
+    std::string key;
+    Plan plan;
+    if (!entry_from_json(e, &key, &plan)) return false;
+    auto [it, inserted] = out->emplace(key, plan);
+    if (!inserted && plan.measured_seconds < it->second.measured_seconds) {
+      it->second = plan;
+    }
+  }
+  return true;
+}
+
+void write_entry(std::FILE* f, const std::string& key, const Plan& p,
+                 bool last) {
+  std::fprintf(
+      f,
+      "    {\"key\": \"%s\", \"method\": \"%s\", \"b\": %lld, \"k\": %lld, "
+      "\"sytrd_nb\": %lld, \"sweeps\": %lld, \"threads\": %d, "
+      "\"bc_threads\": %d, \"bt_kw\": %lld, \"q2_group\": %lld, "
+      "\"smlsiz\": %lld, \"seconds\": %.9g}%s\n",
+      key.c_str(), method_name(p.method), static_cast<long long>(p.b),
+      static_cast<long long>(p.k), static_cast<long long>(p.sytrd_nb),
+      static_cast<long long>(p.max_parallel_sweeps), p.threads, p.bc_threads,
+      static_cast<long long>(p.bt_kw), static_cast<long long>(p.q2_group),
+      static_cast<long long>(p.smlsiz), p.measured_seconds, last ? "" : ",");
+}
+
+void merge_entry(std::map<std::string, Plan>* into, const std::string& key,
+                 const Plan& plan) {
+  auto [it, inserted] = into->emplace(key, plan);
+  if (!inserted && plan.measured_seconds < it->second.measured_seconds) {
+    it->second = plan;
+  }
+}
+
+}  // namespace
+
+std::string cache_key(const ProblemShape& shape) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "|n=%lld|vec=%d|sub=%lld",
+                static_cast<long long>(pow2_bucket(std::max<index_t>(
+                    shape.n, 1))),
+                shape.vectors ? 1 : 0,
+                static_cast<long long>(
+                    shape.subset > 0 ? pow2_bucket(shape.subset) : 0));
+  return machine_fingerprint() + buf;
+}
+
+bool PlanCache::lookup(const std::string& key, Plan* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  *out = it->second;
+  out->source = PlanSource::kCache;
+  return true;
+}
+
+void PlanCache::insert(const std::string& key, const Plan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  merge_entry(&entries_, key, plan);
+}
+
+bool PlanCache::load(const std::string& path) {
+  std::map<std::string, Plan> fresh;
+  if (!parse_cache_file(path, &fresh)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, plan] : fresh) merge_entry(&entries_, key, plan);
+  return true;
+}
+
+bool PlanCache::save(const std::string& path) const {
+  std::map<std::string, Plan> merged;
+  parse_cache_file(path, &merged);  // unparsable file = start empty
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, plan] : entries_) merge_entry(&merged, key, plan);
+  }
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "{\n  \"version\": 1,\n  \"entries\": [\n");
+  std::size_t i = 0;
+  for (const auto& [key, plan] : merged) {
+    write_entry(f, key, plan, ++i == merged.size());
+  }
+  std::fprintf(f, "  ]\n}\n");
+  const bool write_ok = std::fflush(f) == 0 && !std::ferror(f);
+  std::fclose(f);
+  if (!write_ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+PlanCache& PlanCache::global() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace tdg::plan

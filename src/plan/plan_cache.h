@@ -1,0 +1,63 @@
+// Persistent plan cache — FFTW-wisdom-style storage of measured winners.
+//
+// The cache is a flat map from a key string (machine fingerprint + problem
+// shape bucket, see cache_key) to a knob vector plus the proxy wall-clock
+// that won it. It lives in memory and can be merged with a JSON file:
+//
+//   { "version": 1,
+//     "entries": [
+//       { "key": "cores=8;...|n=2048|vec=1|sub=0",
+//         "method": "dbbr", "b": 32, "k": 1024, "sytrd_nb": 64,
+//         "sweeps": 8, "threads": 8, "bc_threads": 8,
+//         "bt_kw": 256, "q2_group": 64, "smlsiz": 32,
+//         "seconds": 0.0123 } ] }
+//
+// load() merges a file into memory (on key collision the entry with the
+// smaller measured time wins — it is the better config); save() re-merges
+// with the file's current content and replaces it atomically (write to a
+// temp file, then rename), so concurrent writers lose no entries. A file
+// that fails to parse is treated as empty: a corrupted cache costs a
+// re-measurement, never an error. All operations are thread-safe.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "plan/plan.h"
+
+namespace tdg::plan {
+
+/// Cache key for a shape: fingerprint + n bucketed to the next power of two
+/// (plans are shape-bucketed, not exact-size) + vectors flag + subset bucket.
+std::string cache_key(const ProblemShape& shape);
+
+class PlanCache {
+ public:
+  /// Look up a key; on hit copies the stored plan into *out (with source =
+  /// PlanSource::kCache) and returns true.
+  bool lookup(const std::string& key, Plan* out) const;
+
+  /// Insert or improve (smaller measured_seconds wins) an entry.
+  void insert(const std::string& key, const Plan& plan);
+
+  /// Merge `path` into memory. Returns false (leaving memory unchanged) if
+  /// the file is missing or fails to parse.
+  bool load(const std::string& path);
+
+  /// Merge memory with the file's current entries and atomically replace
+  /// it. Returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+  void clear();
+  std::size_t size() const;
+
+  /// The process-wide cache used by measured_plan().
+  static PlanCache& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Plan> entries_;
+};
+
+}  // namespace tdg::plan
