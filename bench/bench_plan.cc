@@ -25,6 +25,7 @@
 #include "eig/drivers.h"
 #include "la/generate.h"
 #include "plan/plan.h"
+#include "plan/plan_cache.h"
 
 namespace tdg {
 namespace {
@@ -120,6 +121,27 @@ int run(int argc, char** argv) {
         static_cast<long long>(p.smlsiz));
   }
   benchutil::rule();
+
+  // Cache telemetry: one JSON line with the process-wide counters plus the
+  // per-shape-bucket breakdown, so the perf trajectory can watch hit rates
+  // and re-measurement churn across runs.
+  const plan::CacheStats cs = plan::PlanCache::global().stats();
+  std::printf(
+      "JSON {\"bench\":\"plan_cache_stats\",\"hits\":%lld,\"misses\":%lld,"
+      "\"measure_runs\":%lld,\"loads\":%lld,\"saves\":%lld,"
+      "\"save_failures\":%lld,\"lock_failures\":%lld,\"buckets\":[",
+      cs.hits, cs.misses, cs.measure_runs, cs.loads, cs.saves,
+      cs.save_failures, cs.lock_failures);
+  bool first = true;
+  for (const auto& [key, ss] : plan::PlanCache::global().shape_stats()) {
+    std::printf("%s{\"key\":\"%s\",\"hits\":%lld,\"misses\":%lld,"
+                "\"measure_runs\":%lld}",
+                first ? "" : ",", key.c_str(), ss.hits, ss.misses,
+                ss.measure_runs);
+    first = false;
+  }
+  std::printf("]}\n");
+
   std::printf("second run of this bench should show plan_source \"cache\"\n");
   return 0;
 }

@@ -1,9 +1,15 @@
 #include "bc/bulge_chase_parallel.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/thread_pool.h"
 
 namespace tdg::bc {
@@ -11,6 +17,66 @@ namespace tdg::bc {
 namespace {
 
 constexpr index_t kNotStarted = -1;
+
+/// Spin deadline resolved from TDG_SPIN_TIMEOUT_MS when the option is left
+/// at -1. The default converts a genuinely wedged gate into a diagnosable
+/// error after a minute instead of hanging the process; 0 disables.
+int env_spin_timeout_ms() {
+  static const int v = [] {
+    if (const char* e = std::getenv("TDG_SPIN_TIMEOUT_MS")) {
+      return std::atoi(e);
+    }
+    return kDefaultSpinTimeoutMs;
+  }();
+  return v;
+}
+
+[[noreturn]] void throw_stall(index_t sweep, index_t row, int timeout_ms) {
+  throw Error(ErrorCode::kPipelineStall,
+              "bulge chase pipeline stalled: sweep " + std::to_string(sweep) +
+                  " made no progress waiting at row " + std::to_string(row) +
+                  " for " + std::to_string(timeout_ms) +
+                  " ms (TDG_SPIN_TIMEOUT_MS)",
+              {"bulge_chase", sweep, row});
+}
+
+[[noreturn]] void throw_poisoned(index_t sweep, index_t row) {
+  // Secondary unwind error: a peer already recorded the root cause, so this
+  // is only seen if thrown outside a poisoned region (it never is).
+  throw Error(ErrorCode::kPipelineStall,
+              "bulge chase pipeline poisoned: sweep " + std::to_string(sweep) +
+                  " unwinding at row " + std::to_string(row) +
+                  " after a peer failure",
+              {"bulge_chase", sweep, row});
+}
+
+/// Bounds one spin loop. The clock is consulted only every 512 yields, so
+/// the spinning cost is still dominated by the yield itself; the fast
+/// (gate-already-open) path never constructs one.
+class SpinDeadline {
+ public:
+  explicit SpinDeadline(int timeout_ms) : timeout_ms_(timeout_ms) {}
+
+  void poll(index_t sweep, index_t row) {
+    if (timeout_ms_ <= 0) return;
+    if (++spins_ % 512 != 0) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (!started_) {
+      started_ = true;
+      start_ = now;
+      return;
+    }
+    if (now - start_ >= std::chrono::milliseconds(timeout_ms_)) {
+      throw_stall(sweep, row, timeout_ms_);
+    }
+  }
+
+ private:
+  int timeout_ms_;
+  long spins_ = 0;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point start_{};
+};
 
 template <class Acc>
 void chase_all_parallel(const Acc& acc, index_t b,
@@ -33,52 +99,104 @@ void chase_all_parallel(const Acc& acc, index_t b,
   const int nthreads =
       static_cast<int>(std::min<index_t>(std::max(want, 1), nsweeps));
   const index_t cap = opts.max_parallel_sweeps;
+  const int timeout_ms =
+      opts.spin_timeout_ms >= 0 ? opts.spin_timeout_ms : env_spin_timeout_ms();
+
+  // Poisonable gates: on any task failure the abort flag releases every
+  // spinning peer (both spin loops check it), so the pipeline unwinds
+  // instead of deadlocking on a gate its owner will never advance. Only the
+  // first failure is kept — it is the root cause; the peers' unwind errors
+  // are secondary.
+  std::atomic<bool> aborted{false};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  auto poison = [&](std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (!first_error) first_error = e;
+    }
+    aborted.store(true, std::memory_order_release);
+  };
 
   auto worker = [&] {
     for (;;) {
       const index_t i = next_sweep.fetch_add(1, std::memory_order_relaxed);
       if (i >= nsweeps) return;
-
-      if (cap > 0 && i >= cap) {
-        // Law (3): at most `cap` sweeps in the pipeline — wait for sweep
-        // i - cap to drain before entering.
-        const auto& gate = gcom[static_cast<std::size_t>(i - cap)];
-        while (gate.load(std::memory_order_acquire) < done) {
-          std::this_thread::yield();
+      try {
+        if (aborted.load(std::memory_order_acquire)) return;
+        fault::maybe_inject("bc_sweep");
+        if (fault::should_fire("bc_stall")) {
+          // Simulated wedge: hold this sweep's gate until a peer's spin
+          // deadline poisons the pipeline (failsafe-capped so a disabled
+          // deadline cannot hang a test run).
+          const auto t0 = std::chrono::steady_clock::now();
+          while (!aborted.load(std::memory_order_acquire) &&
+                 std::chrono::steady_clock::now() - t0 <
+                     std::chrono::seconds(10)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          throw_poisoned(i, kNotStarted);
         }
+
+        if (cap > 0 && i >= cap) {
+          // Law (3): at most `cap` sweeps in the pipeline — wait for sweep
+          // i - cap to drain before entering.
+          const auto& gate = gcom[static_cast<std::size_t>(i - cap)];
+          if (gate.load(std::memory_order_acquire) < done) {
+            SpinDeadline deadline(timeout_ms);
+            while (gate.load(std::memory_order_acquire) < done) {
+              if (aborted.load(std::memory_order_relaxed)) {
+                throw_poisoned(i, kNotStarted);
+              }
+              deadline.poll(i, kNotStarted);
+              std::this_thread::yield();
+            }
+          }
+        }
+
+        auto wait = [&](index_t s) {
+          if (i == 0) return;
+          const auto& pred = gcom[static_cast<std::size_t>(i - 1)];
+          // Paper Algorithm 2, line 5: spin while gCom[i] + 2b > gCom[i-1].
+          if (pred.load(std::memory_order_acquire) >= s + 2 * b) return;
+          SpinDeadline deadline(timeout_ms);
+          while (pred.load(std::memory_order_acquire) < s + 2 * b) {
+            if (aborted.load(std::memory_order_relaxed)) {
+              throw_poisoned(i, s);
+            }
+            deadline.poll(i, s);
+            std::this_thread::yield();
+          }
+        };
+        auto publish = [&](index_t s) {
+          gcom[static_cast<std::size_t>(i)].store(s,
+                                                  std::memory_order_release);
+        };
+
+        SweepReflectors* sl =
+            (log != nullptr) ? &log->sweeps[static_cast<std::size_t>(i)]
+                             : nullptr;
+        chase_sweep(acc, b, i, sl, wait, publish);
+        // chase_sweep's final publish(n + 3b) marks the sweep complete.
+      } catch (...) {
+        poison(std::current_exception());
+        return;
       }
-
-      auto wait = [&](index_t s) {
-        if (i == 0) return;
-        const auto& pred = gcom[static_cast<std::size_t>(i - 1)];
-        // Paper Algorithm 2, line 5: spin while gCom[i] + 2b > gCom[i-1].
-        while (pred.load(std::memory_order_acquire) < s + 2 * b) {
-          std::this_thread::yield();
-        }
-      };
-      auto publish = [&](index_t s) {
-        gcom[static_cast<std::size_t>(i)].store(s, std::memory_order_release);
-      };
-
-      SweepReflectors* sl =
-          (log != nullptr) ? &log->sweeps[static_cast<std::size_t>(i)]
-                           : nullptr;
-      chase_sweep(acc, b, i, sl, wait, publish);
-      // chase_sweep's final publish(n + 3b) marks the sweep complete.
     }
   };
 
   if (nthreads == 1) {
     worker();
-    return;
+  } else {
+    // Run the sweep workers as persistent-pool peers instead of spawning a
+    // fresh std::thread set per call (the spawn/join overhead dominates
+    // small-n chases). Sweeps are claimed in ascending order, so the lowest
+    // unfinished sweep always belongs to a running peer and the pipeline
+    // makes progress even if some peers start late (queued behind busy
+    // workers).
+    ThreadPool::global().run_concurrent(nthreads, [&](int) { worker(); });
   }
-  // Run the sweep workers as persistent-pool peers instead of spawning a
-  // fresh std::thread set per call (the spawn/join overhead dominates
-  // small-n chases). Sweeps are claimed in ascending order, so the lowest
-  // unfinished sweep always belongs to a running peer and the pipeline
-  // makes progress even if some peers start late (queued behind busy
-  // workers).
-  ThreadPool::global().run_concurrent(nthreads, [&](int) { worker(); });
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace

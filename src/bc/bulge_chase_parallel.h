@@ -11,11 +11,25 @@
 // Because the dependency protocol enforces exactly the sequential order on
 // every pair of conflicting block steps, the pipelined chase produces
 // bitwise-identical output to the sequential chase (asserted in tests).
+//
+// Failure semantics (docs/ALGORITHMS.md §11): the progress gates are
+// poisonable. If any sweep task throws, a shared abort flag — checked
+// inside both spin loops — releases every spinning peer, the pipeline
+// unwinds, and the first exception is rethrown to the caller; a failure can
+// therefore never leave peers spinning forever. Independently, each spin
+// loop carries a deadline (spin_timeout_ms / TDG_SPIN_TIMEOUT_MS) that
+// converts a gate stuck with no owner progress into a typed
+// Error(kPipelineStall) carrying the sweep and row coordinates.
 #pragma once
 
 #include "bc/bulge_chase.h"
 
 namespace tdg::bc {
+
+/// Default spin deadline (ms) when neither the option nor
+/// TDG_SPIN_TIMEOUT_MS overrides it. Generous: a healthy pipeline advances
+/// a gate every few microseconds, so a minute of zero progress is a wedge.
+inline constexpr int kDefaultSpinTimeoutMs = 60000;
 
 struct ParallelChaseOptions {
   /// Worker threads. Values above the sweep count are clamped; <= 0 means
@@ -25,6 +39,11 @@ struct ParallelChaseOptions {
   /// Maximum sweeps in flight (the S of the paper's Section 3.3 pipeline
   /// model). 0 = bounded only by the thread count.
   index_t max_parallel_sweeps = 0;
+  /// Spin deadline in milliseconds for each progress gate: a gate that sees
+  /// no predecessor progress for this long throws Error(kPipelineStall).
+  /// -1 = use TDG_SPIN_TIMEOUT_MS (default kDefaultSpinTimeoutMs); 0 =
+  /// never time out.
+  int spin_timeout_ms = -1;
 };
 
 /// Pipelined chase on the packed (Fig.-10) layout. Same contract as

@@ -2,14 +2,29 @@
 
 #include <sstream>
 
-namespace tdg::detail {
+namespace tdg {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnknown: return "unknown";
+    case ErrorCode::kInvalidInput: return "invalid_input";
+    case ErrorCode::kNoConvergence: return "no_convergence";
+    case ErrorCode::kPipelineStall: return "pipeline_stall";
+    case ErrorCode::kCacheIo: return "cache_io";
+    case ErrorCode::kFaultInjected: return "fault_injected";
+  }
+  return "unknown";
+}
+
+namespace detail {
 
 void check_failed(const char* cond, const char* file, int line,
                   const std::string& msg) {
   std::ostringstream os;
   os << "tdg check failed: (" << cond << ") at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
+  throw Error(ErrorCode::kInvalidInput, os.str());
 }
 
-}  // namespace tdg::detail
+}  // namespace detail
+}  // namespace tdg

@@ -4,17 +4,57 @@
 // throws tdg::Error (derived from std::runtime_error) carrying the failed
 // condition and source location. Internal invariants use TDG_ASSERT, which
 // compiles to nothing in release builds unless TDG_ENABLE_ASSERTS is set.
+//
+// Every Error carries an ErrorCode so callers can branch on the failure
+// class (retry a kNoConvergence with a different solver, surface a
+// kPipelineStall with its coordinates, treat kCacheIo as a soft
+// degradation) and an ErrorContext with machine-readable coordinates of the
+// failure — which pipeline stage threw, at which index (sweep, eigenvalue,
+// row — stage-defined), after how many iterations. See
+// docs/ALGORITHMS.md §11 for the taxonomy and the recovery chains built on
+// top of it.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace tdg {
 
+/// Failure classes. Recovery policy branches on these, never on message
+/// text.
+enum class ErrorCode {
+  kUnknown = 0,    // legacy untyped throw
+  kInvalidInput,   // precondition violation (TDG_CHECK, NaN/Inf screen)
+  kNoConvergence,  // an iterative solver gave up (steqr, secular)
+  kPipelineStall,  // a progress gate was poisoned or hit its spin deadline
+  kCacheIo,        // plan-cache file I/O or locking failure
+  kFaultInjected,  // tdg::fault fired at a registered site
+};
+
+const char* to_string(ErrorCode code);
+
+/// Machine-readable coordinates of a failure. `stage` must point at a
+/// string literal (errors cross thread joins; no ownership is taken).
+struct ErrorContext {
+  const char* stage = "";       // e.g. "steqr", "bulge_chase", "secular"
+  std::int64_t index = -1;      // stage-defined: eigenvalue / sweep / row
+  std::int64_t iteration = -1;  // iteration count or secondary coordinate
+};
+
 /// Exception thrown on any precondition or numerical-state violation.
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+  Error(ErrorCode code, const std::string& what, ErrorContext ctx = {})
+      : std::runtime_error(what), code_(code), ctx_(ctx) {}
+
+  ErrorCode code() const noexcept { return code_; }
+  const ErrorContext& context() const noexcept { return ctx_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kUnknown;
+  ErrorContext ctx_{};
 };
 
 namespace detail {
@@ -24,7 +64,8 @@ namespace detail {
 
 }  // namespace tdg
 
-/// Validate a user-facing precondition; throws tdg::Error on failure.
+/// Validate a user-facing precondition; throws tdg::Error with
+/// ErrorCode::kInvalidInput on failure.
 #define TDG_CHECK(cond, msg)                                            \
   do {                                                                  \
     if (!(cond)) {                                                      \

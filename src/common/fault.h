@@ -1,0 +1,74 @@
+// Deterministic fault injection — the test harness for every recovery path.
+//
+// A fault site is a named point in the library (`"pool_task"`, `"bc_sweep"`,
+// `"steqr_noconv"`, ... — registry in docs/ALGORITHMS.md §11). Arming a site
+// makes it fire on a chosen hit: sites wired through maybe_inject() throw
+// Error(kFaultInjected); sites wired through should_fire() trigger the
+// stage's own natural failure (steqr raises its real kNoConvergence, the
+// plan cache fails its save), so injected faults exercise exactly the error
+// paths a genuine failure would take.
+//
+// Arming is either programmatic (arm()/Scoped, used by tests) or via the
+// TDG_FAULT_INJECT environment variable read once at startup:
+//
+//   TDG_FAULT_INJECT=site:trigger[:fires]
+//
+// fires the site on hit number `trigger` (1-based, counted per process),
+// `fires` consecutive hits long (default 1; "*" = every hit from `trigger`
+// on). The hit counter is advanced under a mutex, so firing is deterministic
+// for a deterministic hit order and at-most-once per hit under races.
+//
+// Cost when nothing is armed: one relaxed atomic load per site visit — the
+// hooks are compiled in always, including release builds.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace tdg::fault {
+
+namespace detail {
+extern std::atomic<int> g_armed;  // 0 = nothing armed: the fast path
+bool should_fire_slow(const char* site);
+}  // namespace detail
+
+/// True when `site` is armed and this visit falls inside the firing window.
+/// Each call counts as one hit of the armed site. For sites whose failure
+/// behavior is caller-defined (forced non-convergence, failed save).
+inline bool should_fire(const char* site) {
+  if (detail::g_armed.load(std::memory_order_relaxed) == 0) return false;
+  return detail::should_fire_slow(site);
+}
+
+/// Throw Error(ErrorCode::kFaultInjected) when should_fire(site).
+void maybe_inject(const char* site);
+
+/// Arm `site` to fire on hit `trigger` (1-based) for `fires` consecutive
+/// hits (-1 = every hit from `trigger` on). Replaces any previous arming and
+/// resets the hit counter.
+void arm(const std::string& site, long long trigger = 1, long long fires = 1);
+
+/// Disarm; site visits return to the single-load fast path.
+void disarm();
+
+/// Parse and arm a "site:trigger[:fires]" spec (the TDG_FAULT_INJECT
+/// format; fires may be "*"). Returns false and leaves the state disarmed
+/// on a malformed spec.
+bool arm_from_spec(const std::string& spec);
+
+/// Hits recorded for the currently armed site since arm() (0 if disarmed).
+long long hits();
+
+/// RAII arming for tests: disarms on scope exit.
+class Scoped {
+ public:
+  explicit Scoped(const std::string& site, long long trigger = 1,
+                  long long fires = 1) {
+    arm(site, trigger, fires);
+  }
+  ~Scoped() { disarm(); }
+  Scoped(const Scoped&) = delete;
+  Scoped& operator=(const Scoped&) = delete;
+};
+
+}  // namespace tdg::fault

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <exception>
 #include <memory>
+
+#include "common/fault.h"
 
 namespace tdg {
 
@@ -11,6 +14,14 @@ namespace {
 
 thread_local int t_limit = 0;
 thread_local bool t_in_pool_task = false;
+
+/// RAII flag flip for the caller-participates paths: exception-safe where
+/// the old manual set/reset was not.
+struct PoolTaskScope {
+  bool prev;
+  PoolTaskScope() : prev(t_in_pool_task) { t_in_pool_task = true; }
+  ~PoolTaskScope() { t_in_pool_task = prev; }
+};
 
 struct ForState {
   std::atomic<index_t> next{0};
@@ -20,20 +31,53 @@ struct ForState {
   std::atomic<index_t> done{0};
   std::mutex mu;
   std::condition_variable cv;
+  // First failure in the region; later ones are dropped (the region is
+  // already doomed and the first exception is the root cause).
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;  // guarded by mu
+
+  void poison(std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (!error) error = e;
+    }
+    failed.store(true, std::memory_order_release);
+  }
 };
 
 // Claim-and-run loop shared by the caller and the helper tasks. The index
 // assignment is dynamic but every fn(i) writes only its own output region,
-// so scheduling order cannot affect results.
+// so scheduling order cannot affect results. A throwing fn poisons the
+// region: remaining indices are claimed but skipped (the done count must
+// still reach total so the join releases), and the first exception is
+// rethrown at the join point by parallel_for.
 void drive(ForState& st) {
   for (;;) {
     const index_t i = st.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= st.end) return;
-    (*st.fn)(i);
+    if (!st.failed.load(std::memory_order_relaxed)) {
+      try {
+        fault::maybe_inject("pool_task");
+        (*st.fn)(i);
+      } catch (...) {
+        st.poison(std::current_exception());
+      }
+    }
     if (st.done.fetch_add(1, std::memory_order_acq_rel) + 1 == st.total) {
       std::lock_guard<std::mutex> lk(st.mu);
       st.cv.notify_all();
     }
+  }
+}
+
+// Inline (serial) execution path; exceptions propagate directly to the
+// caller, but the fault site still fires so injected runs behave the same
+// at every thread count.
+void run_serial(index_t begin, index_t end,
+                const std::function<void(index_t)>& fn) {
+  for (index_t i = begin; i < end; ++i) {
+    fault::maybe_inject("pool_task");
+    fn(i);
   }
 }
 
@@ -109,14 +153,14 @@ void ThreadPool::parallel_for(index_t begin, index_t end,
   if (n <= 0) return;
   const int budget = current_threads();
   if (n == 1 || budget <= 1 || t_in_pool_task) {
-    for (index_t i = begin; i < end; ++i) fn(i);
+    run_serial(begin, end, fn);
     return;
   }
   int helpers = static_cast<int>(std::min<index_t>(n, budget)) - 1;
   ensure_workers(helpers);
   helpers = std::min(helpers, workers());
   if (helpers <= 0) {
-    for (index_t i = begin; i < end; ++i) fn(i);
+    run_serial(begin, end, fn);
     return;
   }
 
@@ -134,14 +178,28 @@ void ThreadPool::parallel_for(index_t begin, index_t end,
   }
   cv_.notify_all();
 
-  t_in_pool_task = true;  // nested dispatch from the body runs inline
-  drive(*st);
-  t_in_pool_task = false;
+  {
+    PoolTaskScope scope;  // nested dispatch from the body runs inline
+    drive(*st);
+  }
 
-  std::unique_lock<std::mutex> lk(st->mu);
-  st->cv.wait(lk, [&] {
-    return st->done.load(std::memory_order_acquire) == st->total;
-  });
+  {
+    std::unique_lock<std::mutex> lk(st->mu);
+    st->cv.wait(lk, [&] {
+      return st->done.load(std::memory_order_acquire) == st->total;
+    });
+  }
+  // Join point: every helper is done touching st, so rethrowing the first
+  // captured failure is safe and the region behaves like a serial loop that
+  // threw (minus the not-yet-claimed tail).
+  if (st->failed.load(std::memory_order_acquire)) {
+    std::exception_ptr e;
+    {
+      std::lock_guard<std::mutex> lk(st->mu);
+      e = st->error;
+    }
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::run_concurrent(int copies,
@@ -159,6 +217,12 @@ void ThreadPool::run_concurrent(int copies,
     int total = 0;
     std::mutex mu;
     std::condition_variable cv;
+    std::exception_ptr error;  // first failure, guarded by mu
+
+    void poison(std::exception_ptr e) {
+      std::lock_guard<std::mutex> lk(mu);
+      if (!error) error = e;
+    }
   };
   auto st = std::make_shared<ConcState>();
   st->fn = &fn;
@@ -167,7 +231,11 @@ void ThreadPool::run_concurrent(int copies,
     std::lock_guard<std::mutex> lk(mu_);
     for (int c = 1; c < copies; ++c) {
       queue_.emplace_back([st, c] {
-        (*st->fn)(c);
+        try {
+          (*st->fn)(c);
+        } catch (...) {
+          st->poison(std::current_exception());
+        }
         if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
             st->total) {
           std::lock_guard<std::mutex> lk2(st->mu);
@@ -178,14 +246,26 @@ void ThreadPool::run_concurrent(int copies,
   }
   cv_.notify_all();
 
-  t_in_pool_task = true;
-  fn(0);
-  t_in_pool_task = false;
+  {
+    PoolTaskScope scope;
+    try {
+      fn(0);
+    } catch (...) {
+      // The caller's copy failed, but the helpers still reference st->fn —
+      // capture and fall through to the join before rethrowing.
+      st->poison(std::current_exception());
+    }
+  }
 
-  std::unique_lock<std::mutex> lk(st->mu);
-  st->cv.wait(lk, [&] {
-    return st->done.load(std::memory_order_acquire) == st->total;
-  });
+  std::exception_ptr first;
+  {
+    std::unique_lock<std::mutex> lk(st->mu);
+    st->cv.wait(lk, [&] {
+      return st->done.load(std::memory_order_acquire) == st->total;
+    });
+    first = st->error;
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -14,6 +14,12 @@
 //  3. Re-entrancy. A parallel_for issued from inside a pool task runs
 //     inline on that worker — nested parallel kernels (a gemm inside a
 //     syr2k block task) degrade to serial instead of deadlocking.
+//  4. Exception safety. A task that throws poisons its parallel region:
+//     the first std::exception_ptr is captured, remaining indices are
+//     drained without executing, and the exception is rethrown at the join
+//     point on the dispatching thread. A worker exception can therefore
+//     never reach the worker loop (which would std::terminate) or leave
+//     the caller blocked.
 //
 // Thread-count resolution: kernels ask current_threads(), which is the
 // innermost active ThreadLimit on this thread, or default_threads()
@@ -83,7 +89,9 @@ class ThreadPool {
   /// Run fn(i) for every i in [begin, end), distributed over up to
   /// current_threads() threads (caller included); blocks until all indices
   /// completed. Calls from inside a pool task, and calls with a thread
-  /// budget of 1, run inline.
+  /// budget of 1, run inline. If any fn(i) throws, the not-yet-claimed
+  /// indices are skipped and the first exception is rethrown here after
+  /// every worker has left the region.
   void parallel_for(index_t begin, index_t end,
                     const std::function<void(index_t)>& fn);
 
@@ -91,7 +99,11 @@ class ThreadPool {
   /// block until all return. Unlike parallel_for the instances are peers
   /// that may synchronise with each other (the bulge-chase pipeline);
   /// copies beyond the resident worker count queue and start as workers
-  /// free up, which the chase's ordered sweep-claiming tolerates.
+  /// free up, which the chase's ordered sweep-claiming tolerates. The first
+  /// exception thrown by any copy is rethrown here after all copies
+  /// returned — peers that synchronise with each other must additionally
+  /// poison their own gates (see bulge_chase_parallel.cc) so no copy blocks
+  /// forever on a dead peer.
   void run_concurrent(int copies, const std::function<void(int)>& fn);
 
   /// The process-wide pool used by the BLAS-3 engine and the bulge chase.

@@ -1,6 +1,8 @@
 #include "core/tridiag.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "backtransform/apply_q2_blocked.h"
 #include "backtransform/backtransform.h"
@@ -85,9 +87,23 @@ TridiagResult tridiag_two_stage(ConstMatrixView a,
 
 }  // namespace
 
+void check_lower_finite(ConstMatrixView a, const char* stage) {
+  for (index_t j = 0; j < a.cols; ++j) {
+    for (index_t i = j; i < a.rows; ++i) {
+      if (!std::isfinite(a(i, j))) {
+        throw Error(ErrorCode::kInvalidInput,
+                    std::string(stage) + ": non-finite input entry at (" +
+                        std::to_string(i) + ", " + std::to_string(j) + ")",
+                    {stage, i, j});
+      }
+    }
+  }
+}
+
 TridiagResult tridiagonalize(ConstMatrixView a, const TridiagOptions& opts) {
   TDG_CHECK(a.rows == a.cols, "tridiagonalize: matrix must be square");
   TDG_CHECK(a.rows >= 1, "tridiagonalize: empty matrix");
+  if (opts.check_finite) check_lower_finite(a, "tridiagonalize");
   if (a.rows == 1) {
     TridiagResult r;
     r.method = TridiagMethod::kDirect;

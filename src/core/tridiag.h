@@ -58,6 +58,10 @@ struct TridiagOptions {
   /// the ambient ThreadLimit / TDG_THREADS default). Results are bitwise
   /// identical for any value. Never planner-overridden.
   int threads = 0;
+  /// Screen the input's lower triangle for NaN/Inf and fail fast with
+  /// Error(kInvalidInput) carrying the first bad coordinate. One cheap
+  /// O(n^2/2) read pass; set false to skip on pre-validated inputs.
+  bool check_finite = true;
 };
 
 struct TridiagResult {
@@ -80,6 +84,13 @@ struct TridiagResult {
   double seconds_stage1 = 0.0;  // SBR/DBBR, or the whole sytrd for kDirect
   double seconds_stage2 = 0.0;  // bulge chasing
 };
+
+/// Throw Error(kInvalidInput) naming `stage` if the lower triangle of `a`
+/// contains a NaN or Inf; the error context carries the first bad (row,
+/// col). The input-hygiene screen run by the drivers before any factoring
+/// touches the data (a non-finite entry would otherwise propagate into
+/// silent-garbage eigenvalues or a non-convergence deep in the pipeline).
+void check_lower_finite(ConstMatrixView a, const char* stage);
 
 /// Reduce symmetric `a` (lower triangle read) to tridiagonal form.
 TridiagResult tridiagonalize(ConstMatrixView a, const TridiagOptions& opts);

@@ -45,23 +45,38 @@ ResolvedEvd resolve_evd(const EvdOptions& opts, index_t n, index_t subset) {
 
 }  // namespace
 
+namespace {
+
+/// True when `err` is a failure class the solver fallback chain recovers
+/// from; anything else (invalid input, pipeline stall, cache I/O) is
+/// re-raised to the caller unchanged.
+bool recoverable(const Error& err) {
+  return err.code() == ErrorCode::kNoConvergence;
+}
+
+}  // namespace
+
 EvdResult eigh(ConstMatrixView a, const EvdOptions& opts) {
   TDG_CHECK(a.rows == a.cols, "eigh: matrix must be square");
   const index_t n = a.rows;
   EvdResult res;
   if (n == 0) return res;
+  if (opts.check_finite) check_lower_finite(a, "eigh");
 
   // One thread budget for the whole pipeline: tridiagonalization, the D&C
   // merge GEMMs, and the Q2/Q1 back transformations.
   ThreadLimit thread_scope(opts.tridiag.threads);
 
-  const ResolvedEvd cfg = resolve_evd(opts, n, /*subset=*/0);
+  ResolvedEvd cfg = resolve_evd(opts, n, /*subset=*/0);
+  cfg.tridiag.check_finite = false;  // screened above; don't rescan
   res.plan_source = plan::to_string(cfg.source);
 
   WallTimer t;
   TridiagResult tri = tridiagonalize(a, cfg.tridiag);
   res.seconds_tridiag = t.seconds();
 
+  // tri.d / tri.e stay pristine below: the solvers mutate copies, so every
+  // fallback restarts from the exact tridiagonal problem.
   res.eigenvalues = tri.d;
   std::vector<double> e = tri.e;
 
@@ -69,20 +84,54 @@ EvdResult eigh(ConstMatrixView a, const EvdOptions& opts) {
     t.reset();
     // Values only: implicit QL without vector accumulation is the cheapest
     // (this is also what the paper's "w/o vectors" path amounts to).
-    steqr(res.eigenvalues, e, nullptr);
+    try {
+      steqr(res.eigenvalues, e, nullptr);
+    } catch (const Error& err) {
+      if (!opts.solver_fallback || !recoverable(err)) throw;
+      res.recovery = "steqr->bisect";
+      res.eigenvalues = eigenvalues_bisect(tri.d, tri.e, 0, n - 1);
+    }
     res.seconds_solver = t.seconds();
     return res;
   }
 
-  // Eigenvectors of the tridiagonal T.
+  // Eigenvectors of the tridiagonal T, degrading through the fallback
+  // chain on kNoConvergence: D&C -> implicit QL -> Sturm bisection +
+  // inverse iteration. Each stage restarts from the pristine (d, e).
   t.reset();
   Matrix z(n, n);
+  bool solved = false;
+  bool try_steqr = opts.solver != TridiagSolver::kDivideConquer;
   if (opts.solver == TridiagSolver::kDivideConquer) {
-    stedc(res.eigenvalues, e, z.view(), cfg.smlsiz);
-  } else {
+    try {
+      stedc(res.eigenvalues, e, z.view(), cfg.smlsiz);
+      solved = true;
+    } catch (const Error& err) {
+      if (!opts.solver_fallback || !recoverable(err)) throw;
+      res.recovery = "dc->steqr";
+      try_steqr = true;
+    }
+  }
+  if (!solved && try_steqr) {
+    res.eigenvalues = tri.d;
+    e = tri.e;
     z = Matrix::identity(n);
-    MatrixView zv = z.view();
-    steqr(res.eigenvalues, e, &zv);
+    try {
+      MatrixView zv = z.view();
+      steqr(res.eigenvalues, e, &zv);
+      solved = true;
+    } catch (const Error& err) {
+      if (!opts.solver_fallback || !recoverable(err)) throw;
+      res.recovery = res.recovery.empty() ? "steqr->bisect"
+                                          : "dc->steqr->bisect";
+    }
+  }
+  if (!solved) {
+    // Last resort, solver-free: bisection eigenvalues to machine precision
+    // and inverse-iteration vectors (clusters re-orthogonalised).
+    res.eigenvalues = eigenvalues_bisect(tri.d, tri.e, 0, n - 1);
+    z = Matrix(n, n);
+    inverse_iteration(tri.d, tri.e, res.eigenvalues, z.view());
   }
   res.seconds_solver = t.seconds();
 
@@ -99,10 +148,12 @@ EvdResult eigh_range(ConstMatrixView a, index_t il, index_t iu,
   TDG_CHECK(a.rows == a.cols, "eigh_range: matrix must be square");
   const index_t n = a.rows;
   TDG_CHECK(0 <= il && il <= iu && iu < n, "eigh_range: bad index range");
+  if (opts.check_finite) check_lower_finite(a, "eigh_range");
 
   ThreadLimit thread_scope(opts.tridiag.threads);
 
-  const ResolvedEvd cfg = resolve_evd(opts, n, /*subset=*/iu - il + 1);
+  ResolvedEvd cfg = resolve_evd(opts, n, /*subset=*/iu - il + 1);
+  cfg.tridiag.check_finite = false;  // screened above; don't rescan
 
   EvdResult res;
   res.plan_source = plan::to_string(cfg.source);

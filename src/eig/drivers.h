@@ -31,6 +31,16 @@ struct EvdOptions {
   index_t smlsiz = 0;    // D&C base-case size (0 = auto)
   index_t bt_kw = 0;     // stage-1 back-transform group width (0 = auto)
   index_t q2_group = 0;  // stage-2 reflector-chunk size (0 = auto)
+  /// Screen the input for NaN/Inf up front and fail fast with a typed
+  /// Error(kInvalidInput) instead of letting a bad entry surface as a
+  /// non-convergence (or silent garbage) deep in the pipeline. One O(n^2/2)
+  /// read pass; set false to skip on pre-validated inputs.
+  bool check_finite = true;
+  /// On Error(kNoConvergence) from the tridiagonal solver, degrade through
+  /// the fallback chain (D&C -> steqr -> bisection + inverse iteration)
+  /// instead of failing; the path taken is recorded in EvdResult.recovery.
+  /// Set false to surface the first solver failure unrecovered.
+  bool solver_fallback = true;
 };
 
 struct EvdResult {
@@ -40,6 +50,12 @@ struct EvdResult {
   /// Where the knob vector came from: "defaults", "heuristic", "measured",
   /// or "cache" (plan::to_string of the resolved plan's source).
   std::string plan_source;
+  /// Solver degradation taken to produce this result: "" (none),
+  /// "dc->steqr", "dc->steqr->bisect", or "steqr->bisect". A non-empty
+  /// value means the primary tridiagonal solver raised kNoConvergence and
+  /// the result came from a fallback — still a correct decomposition, at
+  /// (possibly) higher cost.
+  std::string recovery;
   double seconds_tridiag = 0.0;
   double seconds_solver = 0.0;
   double seconds_backtransform = 0.0;

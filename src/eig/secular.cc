@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/check.h"
+#include "common/fault.h"
 
 namespace tdg::eig {
 
@@ -86,6 +88,14 @@ std::vector<SecularRoot> solve_secular(const std::vector<double>& d,
   std::vector<SecularRoot> roots(static_cast<std::size_t>(k));
 
   for (index_t j = 0; j < k; ++j) {
+    if (fault::should_fire("secular_root")) {
+      // Typed as kNoConvergence (a real secular solver can fail to bracket
+      // a root) so the D&C driver's solver fallback chain engages.
+      throw Error(ErrorCode::kNoConvergence,
+                  "secular: fault 'secular_root' forced failure at root " +
+                      std::to_string(j),
+                  {"secular", j, 0});
+    }
     if (j + 1 < k) {
       // Interior root in (d_j, d_{j+1}). Choose the shift origin by the sign
       // of f at the midpoint: f(mid) > 0 means the root is in the left half

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <string>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "eig/eig.h"
 
 namespace tdg::eig {
@@ -32,6 +34,14 @@ void steqr(std::vector<double>& d, std::vector<double>& e, MatrixView* z) {
     TDG_CHECK(z->rows >= 1 && z->cols == n, "steqr: z must have n columns");
   }
   if (n == 0) return;
+  if (fault::should_fire("steqr_noconv")) {
+    // Fires the solver's own failure path so callers exercise exactly the
+    // recovery a genuine non-convergence would trigger.
+    throw Error(ErrorCode::kNoConvergence,
+                "steqr: fault 'steqr_noconv' forced non-convergence at "
+                "eigenvalue 0",
+                {"steqr", 0, 0});
+  }
 
   constexpr int kMaxIter = 50;
   const double eps = std::numeric_limits<double>::epsilon();
@@ -49,7 +59,13 @@ void steqr(std::vector<double>& d, std::vector<double>& e, MatrixView* z) {
         if (std::abs(e[static_cast<std::size_t>(m)]) <= eps * dd) break;
       }
       if (m == l) break;
-      TDG_CHECK(++iter <= kMaxIter, "steqr: eigenvalue failed to converge");
+      if (++iter > kMaxIter) {
+        throw Error(ErrorCode::kNoConvergence,
+                    "steqr: eigenvalue " + std::to_string(l) +
+                        " failed to converge after " +
+                        std::to_string(kMaxIter) + " QL sweeps",
+                    {"steqr", l, kMaxIter});
+      }
 
       // Wilkinson shift from the leading 2x2.
       double g = (d[static_cast<std::size_t>(l + 1)] -

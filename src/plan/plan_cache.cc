@@ -8,11 +8,60 @@
 #include <string_view>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#define TDG_HAVE_FLOCK 1
+#endif
+
+#include "common/fault.h"
 #include "plan/fingerprint.h"
 
 namespace tdg::plan {
 
 namespace {
+
+/// Exclusive cross-process lock on `<path>.lock`, held for a save()'s whole
+/// read-merge-rename so two tuning processes cannot interleave and drop
+/// each other's entries. Degrades gracefully: ok() == false means the lock
+/// could not be taken (no flock on this platform, open failure, or the
+/// `cache_lock` fault site fired) and the caller proceeds unlocked — the
+/// atomic rename still keeps the file valid, restoring the pre-lock
+/// last-writer-wins behavior rather than failing the save.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path) {
+    if (fault::should_fire("cache_lock")) return;  // simulated contention
+#if defined(TDG_HAVE_FLOCK)
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0) return;
+    if (::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    acquired_ = true;
+#else
+    acquired_ = true;  // no flock on this platform: lock elided
+#endif
+  }
+  ~FileLock() {
+#if defined(TDG_HAVE_FLOCK)
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+#endif
+  }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  bool ok() const { return acquired_; }
+
+ private:
+  int fd_ = -1;
+  bool acquired_ = false;
+};
 
 index_t pow2_bucket(index_t n) {
   index_t p = 1;
@@ -289,7 +338,13 @@ std::string cache_key(const ProblemShape& shape) {
 bool PlanCache::lookup(const std::string& key, Plan* out) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key);
-  if (it == entries_.end()) return false;
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    ++shape_stats_[key].misses;
+    return false;
+  }
+  ++stats_.hits;
+  ++shape_stats_[key].hits;
   *out = it->second;
   out->source = PlanSource::kCache;
   return true;
@@ -305,10 +360,31 @@ bool PlanCache::load(const std::string& path) {
   if (!parse_cache_file(path, &fresh)) return false;
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, plan] : fresh) merge_entry(&entries_, key, plan);
+  ++stats_.loads;
   return true;
 }
 
 bool PlanCache::save(const std::string& path) const {
+  auto note_failure = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.save_failures;
+  };
+  if (fault::should_fire("cache_save")) {
+    // Simulated I/O failure, before any file is touched: callers must treat
+    // a false return as "cache not updated", never as corruption.
+    note_failure();
+    return false;
+  }
+
+  // Serialize the read-merge-rename against other *processes*; on lock
+  // failure fall back to the unlocked atomic-rename path (last-writer-wins,
+  // the pre-flock behavior) rather than dropping the save.
+  FileLock file_lock(path + ".lock");
+  if (!file_lock.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.lock_failures;
+  }
+
   std::map<std::string, Plan> merged;
   parse_cache_file(path, &merged);  // unparsable file = start empty
   {
@@ -317,7 +393,10 @@ bool PlanCache::save(const std::string& path) const {
   }
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "w");
-  if (!f) return false;
+  if (!f) {
+    note_failure();
+    return false;
+  }
   std::fprintf(f, "{\n  \"version\": 1,\n  \"entries\": [\n");
   std::size_t i = 0;
   for (const auto& [key, plan] : merged) {
@@ -328,7 +407,12 @@ bool PlanCache::save(const std::string& path) const {
   std::fclose(f);
   if (!write_ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
+    note_failure();
     return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.saves;
   }
   return true;
 }
@@ -341,6 +425,28 @@ void PlanCache::clear() {
 std::size_t PlanCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+CacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::map<std::string, ShapeStats> PlanCache::shape_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shape_stats_;
+}
+
+void PlanCache::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = CacheStats{};
+  shape_stats_.clear();
+}
+
+void PlanCache::note_measure_run(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.measure_runs;
+  ++shape_stats_[key].measure_runs;
 }
 
 PlanCache& PlanCache::global() {

@@ -15,9 +15,19 @@
 // load() merges a file into memory (on key collision the entry with the
 // smaller measured time wins — it is the better config); save() re-merges
 // with the file's current content and replaces it atomically (write to a
-// temp file, then rename), so concurrent writers lose no entries. A file
-// that fails to parse is treated as empty: a corrupted cache costs a
-// re-measurement, never an error. All operations are thread-safe.
+// temp file, then rename). On POSIX, save() additionally holds an exclusive
+// flock on `<path>.lock` across the read-merge-rename, so concurrent
+// tune/bench *processes* cannot interleave and drop each other's freshly
+// measured entries; if the lock cannot be acquired the save degrades to the
+// old unlocked atomic-rename path (still never corrupting the file) and the
+// degradation is counted in CacheStats::lock_failures. A file that fails to
+// parse is treated as empty: a corrupted cache costs a re-measurement,
+// never an error. All operations are thread-safe.
+//
+// Telemetry: the cache counts hits/misses (total and per shape bucket),
+// measure-tier runs, and load/save outcomes. Query with stats() /
+// shape_stats(); bench_plan emits them as a JSON line so regressions in
+// heuristic quality show up in the perf trajectory.
 #pragma once
 
 #include <map>
@@ -27,6 +37,24 @@
 #include "plan/plan.h"
 
 namespace tdg::plan {
+
+/// Process-wide cache telemetry counters.
+struct CacheStats {
+  long long hits = 0;           // lookup() served from memory
+  long long misses = 0;         // lookup() found nothing
+  long long measure_runs = 0;   // empirical searches actually executed
+  long long loads = 0;          // successful file merges into memory
+  long long saves = 0;          // successful file writes
+  long long save_failures = 0;  // I/O failures (file left as it was)
+  long long lock_failures = 0;  // flock unavailable; saved unlocked
+};
+
+/// Per-shape-bucket counters, keyed by cache_key().
+struct ShapeStats {
+  long long hits = 0;
+  long long misses = 0;
+  long long measure_runs = 0;
+};
 
 /// Cache key for a shape: fingerprint + n bucketed to the next power of two
 /// (plans are shape-bucketed, not exact-size) + vectors flag + subset bucket.
@@ -52,12 +80,23 @@ class PlanCache {
   void clear();
   std::size_t size() const;
 
+  /// Telemetry snapshots (see CacheStats); reset_stats() zeroes both.
+  CacheStats stats() const;
+  std::map<std::string, ShapeStats> shape_stats() const;
+  void reset_stats();
+
+  /// Record that the measure tier ran an empirical search for `key`
+  /// (called by measured_plan on a cache miss).
+  void note_measure_run(const std::string& key);
+
   /// The process-wide cache used by measured_plan().
   static PlanCache& global();
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, Plan> entries_;
+  mutable CacheStats stats_;
+  mutable std::map<std::string, ShapeStats> shape_stats_;
 };
 
 }  // namespace tdg::plan

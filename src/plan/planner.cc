@@ -262,6 +262,7 @@ Plan measured_plan(const ProblemShape& shape, const PlannerOptions& popts) {
   if (!path.empty()) cache.load(path);
   Plan cached;
   if (cache.lookup(key, &cached)) return cached;
+  cache.note_measure_run(key);
 
   const Plan seed = heuristic_plan(shape, popts.threads);
 
