@@ -41,12 +41,15 @@ double best_of(index_t reps, const std::function<double()>& run) {
 
 void emit(const char* op, index_t m, index_t n, index_t k, int threads,
           double seconds, double gflops) {
-  std::printf(
-      "JSON {\"bench\":\"blas3_scaling\",\"op\":\"%s\",\"m\":%lld,"
-      "\"n\":%lld,\"k\":%lld,\"threads\":%d,\"seconds\":%.6f,"
-      "\"gflops\":%.3f}\n",
-      op, static_cast<long long>(m), static_cast<long long>(n),
-      static_cast<long long>(k), threads, seconds, gflops);
+  benchutil::JsonLine("blas3_scaling")
+      .field("op", op)
+      .field("m", m)
+      .field("n", n)
+      .field("k", k)
+      .field("threads", threads)
+      .field("seconds", seconds)
+      .field("gflops", gflops)
+      .emit();
 }
 
 }  // namespace

@@ -88,6 +88,15 @@ int main(int argc, char** argv) {
                     100.0 * p.proposed_bcbt);
       }
       std::printf("\n");
+      benchutil::JsonLine("fig16_evd_projection")
+          .field("n", n)
+          .field("vectors", vectors)
+          .field("cusolver_seconds", p.cusolver)
+          .field("magma_seconds", p.magma)
+          .field("proposed_seconds", p.proposed)
+          .field("speedup_vs_cusolver", p.cusolver / p.proposed)
+          .field("speedup_vs_magma", p.magma / p.proposed)
+          .emit();
     }
   }
   std::printf("\npaper: up to 6.1x vs cuSOLVER and 3.8x vs MAGMA without "
@@ -106,15 +115,31 @@ int main(int argc, char** argv) {
       opts.tridiag.method = method;
       opts.tridiag.b = 32;
       opts.tridiag.k = 256;
+      opts.profile = true;
       WallTimer t;
       const eig::EvdResult r = eig::eigh(a.view(), opts);
       const char* name = method == TridiagMethod::kDirect ? "direct "
                          : method == TridiagMethod::kTwoStageClassic
                              ? "classic"
                              : "dbbr   ";
+      const char* method_id = method == TridiagMethod::kDirect ? "direct"
+                              : method == TridiagMethod::kTwoStageClassic
+                                  ? "classic"
+                                  : "dbbr";
       std::printf("n=%lld %s %s: %.3f s\n", static_cast<long long>(nm), name,
                   vectors ? "vec " : "eval", t.seconds());
-      (void)r;
+      benchutil::JsonLine line("fig16_evd_measured");
+      line.field("n", nm)
+          .field("method", method_id)
+          .field("vectors", vectors)
+          .field("seconds", t.seconds());
+      // Per-phase measured-vs-model breakdown from the EvdProfile.
+      for (const eig::PhaseProfile& ph : r.profile.phases) {
+        line.field(ph.name + "_seconds", ph.seconds)
+            .field(ph.name + "_model_seconds", ph.model_seconds)
+            .field(ph.name + "_gflops", ph.gflops);
+      }
+      line.emit();
     }
   }
   return 0;

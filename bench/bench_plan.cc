@@ -109,16 +109,18 @@ int run(int argc, char** argv) {
                 static_cast<long long>(n), def.seconds, plv.seconds,
                 def.seconds / plv.seconds, source, plan_seconds,
                 static_cast<long long>(p.b), static_cast<long long>(p.k));
-    std::printf(
-        "JSON {\"bench\":\"plan\",\"n\":%lld,\"default_seconds\":%.6f,"
-        "\"planned_seconds\":%.6f,\"speedup\":%.4f,\"plan_source\":\"%s\","
-        "\"plan_seconds\":%.6f,\"b\":%lld,\"k\":%lld,\"sweeps\":%lld,"
-        "\"smlsiz\":%lld}\n",
-        static_cast<long long>(n), def.seconds, plv.seconds,
-        def.seconds / plv.seconds, source, plan_seconds,
-        static_cast<long long>(p.b), static_cast<long long>(p.k),
-        static_cast<long long>(p.max_parallel_sweeps),
-        static_cast<long long>(p.smlsiz));
+    benchutil::JsonLine("plan")
+        .field("n", n)
+        .field("default_seconds", def.seconds)
+        .field("planned_seconds", plv.seconds)
+        .field("speedup", def.seconds / plv.seconds)
+        .field("plan_source", source)
+        .field("plan_seconds", plan_seconds)
+        .field("b", p.b)
+        .field("k", p.k)
+        .field("sweeps", p.max_parallel_sweeps)
+        .field("smlsiz", p.smlsiz)
+        .emit();
   }
   benchutil::rule();
 
@@ -126,21 +128,29 @@ int run(int argc, char** argv) {
   // per-shape-bucket breakdown, so the perf trajectory can watch hit rates
   // and re-measurement churn across runs.
   const plan::CacheStats cs = plan::PlanCache::global().stats();
-  std::printf(
-      "JSON {\"bench\":\"plan_cache_stats\",\"hits\":%lld,\"misses\":%lld,"
-      "\"measure_runs\":%lld,\"loads\":%lld,\"saves\":%lld,"
-      "\"save_failures\":%lld,\"lock_failures\":%lld,\"buckets\":[",
-      cs.hits, cs.misses, cs.measure_runs, cs.loads, cs.saves,
-      cs.save_failures, cs.lock_failures);
+  std::string buckets = "[";
   bool first = true;
   for (const auto& [key, ss] : plan::PlanCache::global().shape_stats()) {
-    std::printf("%s{\"key\":\"%s\",\"hits\":%lld,\"misses\":%lld,"
-                "\"measure_runs\":%lld}",
-                first ? "" : ",", key.c_str(), ss.hits, ss.misses,
-                ss.measure_runs);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"key\":\"%s\",\"hits\":%lld,\"misses\":%lld,"
+                  "\"measure_runs\":%lld}",
+                  first ? "" : ",", key.c_str(), ss.hits, ss.misses,
+                  ss.measure_runs);
+    buckets += buf;
     first = false;
   }
-  std::printf("]}\n");
+  buckets += "]";
+  benchutil::JsonLine("plan_cache_stats")
+      .field("hits", cs.hits)
+      .field("misses", cs.misses)
+      .field("measure_runs", cs.measure_runs)
+      .field("loads", cs.loads)
+      .field("saves", cs.saves)
+      .field("save_failures", cs.save_failures)
+      .field("lock_failures", cs.lock_failures)
+      .raw("buckets", buckets)
+      .emit();
 
   std::printf("second run of this bench should show plan_source \"cache\"\n");
   return 0;

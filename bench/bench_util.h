@@ -6,12 +6,90 @@
 #pragma once
 
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "la/matrix.h"
 
+// Source revision the binary was built from (stamped by CMake); "unknown"
+// when building outside a git checkout.
+#ifndef TDG_GIT_REV
+#define TDG_GIT_REV "unknown"
+#endif
+
 namespace tdg::benchutil {
+
+/// Version of the "JSON {...}" line schema shared by all benches. Bump when
+/// a field changes meaning; adding fields is backward compatible.
+inline constexpr int kJsonSchemaVersion = 1;
+
+/// Builder for the machine-scrapable "JSON {...}" stdout lines. Every line
+/// carries schema_version, the git revision, and the bench name, so the
+/// perf trajectory can join measurements across commits without guessing:
+///
+///   benchutil::JsonLine("blas3_scaling")
+///       .field("op", "gemm").field("n", n).field("seconds", s).emit();
+///
+/// field() escapes string values; raw() splices pre-rendered JSON (arrays,
+/// nested objects) verbatim.
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) {
+    os_ << "JSON {\"schema_version\":" << kJsonSchemaVersion
+        << ",\"git_rev\":\"" << TDG_GIT_REV << "\"";
+    field("bench", bench);
+  }
+
+  JsonLine& field(const std::string& key, const std::string& v) {
+    sep(key);
+    os_ << '"';
+    for (const char c : v) {
+      if (c == '"' || c == '\\') os_ << '\\';
+      os_ << c;
+    }
+    os_ << '"';
+    return *this;
+  }
+  JsonLine& field(const std::string& key, const char* v) {
+    return field(key, std::string(v));
+  }
+  JsonLine& field(const std::string& key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    sep(key);
+    os_ << buf;
+    return *this;
+  }
+  JsonLine& field(const std::string& key, long long v) {
+    sep(key);
+    os_ << v;
+    return *this;
+  }
+  JsonLine& field(const std::string& key, index_t v) {
+    return field(key, static_cast<long long>(v));
+  }
+  JsonLine& field(const std::string& key, int v) {
+    return field(key, static_cast<long long>(v));
+  }
+  JsonLine& field(const std::string& key, bool v) {
+    sep(key);
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  /// Splice `json` (already valid JSON: array, object, number) unescaped.
+  JsonLine& raw(const std::string& key, const std::string& json) {
+    sep(key);
+    os_ << json;
+    return *this;
+  }
+
+  void emit() { std::printf("%s}\n", os_.str().c_str()); }
+
+ private:
+  void sep(const std::string& key) { os_ << ",\"" << key << "\":"; }
+  std::ostringstream os_;
+};
 
 inline void header(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());

@@ -5,6 +5,7 @@
 
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "obs/obs.h"
 
 namespace tdg::bt {
 
@@ -76,6 +77,11 @@ void apply_q2_left_blocked(const bc::ChaseLog& log, MatrixView c,
   TDG_CHECK(group >= 1, "apply_q2_left_blocked: group must be >= 1");
   const index_t nc = c.cols;
   const index_t b = std::max<index_t>(log.b, 1);
+
+  obs::Span span("apply_q2");
+  span.attr("n", log.n);
+  span.attr("cols", nc);
+  span.attr("group", group);
 
   // Record the chunked-application trace up front on this thread (pool
   // workers are untraced): one batched kernel per chunk, exactly what a GPU

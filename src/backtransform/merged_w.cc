@@ -5,6 +5,7 @@
 
 #include "backtransform/backtransform.h"
 #include "la/blas.h"
+#include "obs/obs.h"
 
 namespace tdg::bt {
 
@@ -86,6 +87,11 @@ void apply_q1_blocked(const sbr::BandFactor& f, index_t kw, MatrixView c) {
   TDG_CHECK(c.rows == f.n, "apply_q1_blocked: row mismatch");
   TDG_CHECK(kw >= 1, "apply_q1_blocked: kw must be positive");
   if (f.panels.empty()) return;
+
+  obs::Span span("apply_q1");
+  span.attr("n", f.n);
+  span.attr("cols", c.cols);
+  span.attr("kw", kw);
 
   const std::size_t group =
       std::max<std::size_t>(1, static_cast<std::size_t>(kw / std::max<index_t>(f.b, 1)));

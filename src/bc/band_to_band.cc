@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace tdg::bc {
 
 namespace {
@@ -25,6 +27,11 @@ void reduce_band(SymBandMatrix& band, index_t b, index_t d, ChaseLog* log) {
     log->sweeps.assign(static_cast<std::size_t>(nsweeps), SweepReflectors{});
   }
   if (d >= b || n <= d + 1) return;  // already at (or below) the target
+
+  obs::Span span("reduce_band");
+  span.attr("n", n);
+  span.attr("b", b);
+  span.attr("d", d);
 
   PackedLowerAccessor acc{&band};
   for (index_t i = 0; i < nsweeps; ++i) {

@@ -1,5 +1,7 @@
 #include "bc/bulge_chase.h"
 
+#include "obs/obs.h"
+
 namespace tdg::bc {
 
 namespace {
@@ -18,6 +20,10 @@ void chase_all_sequential(const Acc& acc, index_t b, ChaseLog* log) {
                        SweepReflectors{});
   }
   if (b <= 1) return;  // bandwidth 1 is already tridiagonal
+  obs::Span span("bulge_chase");
+  span.attr("n", n);
+  span.attr("b", b);
+  span.attr("nsweeps", std::max<index_t>(n - 2, 0));
   for (index_t i = 0; i + 2 < n; ++i) {
     SweepReflectors* sl =
         (log != nullptr) ? &log->sweeps[static_cast<std::size_t>(i)] : nullptr;

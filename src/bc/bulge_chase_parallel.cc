@@ -11,12 +11,36 @@
 
 #include "common/fault.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace tdg::bc {
 
 namespace {
 
 constexpr index_t kNotStarted = -1;
+
+/// Bulge-chase pipeline metrics, resolved once. All gated on the armed
+/// flag inside inc()/record(), so the spin slow paths call unconditionally.
+struct BcMetrics {
+  obs::Counter* sweeps;
+  obs::Counter* gate_spin_episodes;
+  obs::Counter* stall_near_miss;
+  obs::Histogram* gate_wait_us;
+  obs::Gauge* sweep_concurrency_hwm;
+
+  static BcMetrics& get() {
+    static BcMetrics m = [] {
+      obs::Registry& r = obs::Registry::global();
+      return BcMetrics{r.counter("bc.sweeps"),
+                       r.counter("bc.gate_spin_episodes"),
+                       r.counter("bc.stall_near_miss"),
+                       r.histogram("bc.gate_wait_us"),
+                       r.gauge("bc.sweep_concurrency_hwm")};
+    }();
+    return m;
+  }
+};
 
 /// Spin deadline resolved from TDG_SPIN_TIMEOUT_MS when the option is left
 /// at -1. The default converts a genuinely wedged gate into a diagnosable
@@ -90,6 +114,11 @@ void chase_all_parallel(const Acc& acc, index_t b,
   }
   if (nsweeps == 0 || b <= 1) return;
 
+  obs::Span chase_span("bulge_chase");
+  chase_span.attr("n", n);
+  chase_span.attr("b", b);
+  chase_span.attr("nsweeps", nsweeps);
+
   const index_t done = n + 3 * b;  // completion sentinel (matches publish)
   std::vector<std::atomic<index_t>> gcom(static_cast<std::size_t>(nsweeps));
   for (auto& g : gcom) g.store(kNotStarted, std::memory_order_relaxed);
@@ -118,6 +147,24 @@ void chase_all_parallel(const Acc& acc, index_t b,
     aborted.store(true, std::memory_order_release);
   };
 
+  // Observability: gate waits are timed only when tracing or metrics are
+  // armed (one clock read per spin EPISODE, never on the gate-already-open
+  // fast path); the in-flight count feeds the sweep-concurrency high-water
+  // mark. Spin-wait accounting distinguishes "pipeline is healthy" from
+  // "peers are starving at the 2b-lag gates".
+  const bool timed = obs::tracing_armed() || obs::metrics_armed();
+  std::atomic<int> in_flight{0};
+  auto account_wait = [&](double t0, double* sweep_wait_us) {
+    const double w = obs::now_us() - t0;
+    *sweep_wait_us += w;
+    BcMetrics& m = BcMetrics::get();
+    m.gate_spin_episodes->inc();
+    m.gate_wait_us->record(static_cast<long long>(w));
+    // Near-miss: one episode burned more than half the stall deadline —
+    // the pipeline survived but was close to a kPipelineStall diagnosis.
+    if (timeout_ms > 0 && w > 500.0 * timeout_ms) m.stall_near_miss->inc();
+  };
+
   auto worker = [&] {
     for (;;) {
       const index_t i = next_sweep.fetch_add(1, std::memory_order_relaxed);
@@ -138,11 +185,16 @@ void chase_all_parallel(const Acc& acc, index_t b,
           throw_poisoned(i, kNotStarted);
         }
 
+        obs::Span sweep_span("bc.sweep");
+        sweep_span.attr("sweep", i);
+        double sweep_wait_us = 0.0;
+
         if (cap > 0 && i >= cap) {
           // Law (3): at most `cap` sweeps in the pipeline — wait for sweep
           // i - cap to drain before entering.
           const auto& gate = gcom[static_cast<std::size_t>(i - cap)];
           if (gate.load(std::memory_order_acquire) < done) {
+            const double t0 = timed ? obs::now_us() : 0.0;
             SpinDeadline deadline(timeout_ms);
             while (gate.load(std::memory_order_acquire) < done) {
               if (aborted.load(std::memory_order_relaxed)) {
@@ -151,6 +203,7 @@ void chase_all_parallel(const Acc& acc, index_t b,
               deadline.poll(i, kNotStarted);
               std::this_thread::yield();
             }
+            if (timed) account_wait(t0, &sweep_wait_us);
           }
         }
 
@@ -159,6 +212,7 @@ void chase_all_parallel(const Acc& acc, index_t b,
           const auto& pred = gcom[static_cast<std::size_t>(i - 1)];
           // Paper Algorithm 2, line 5: spin while gCom[i] + 2b > gCom[i-1].
           if (pred.load(std::memory_order_acquire) >= s + 2 * b) return;
+          const double t0 = timed ? obs::now_us() : 0.0;
           SpinDeadline deadline(timeout_ms);
           while (pred.load(std::memory_order_acquire) < s + 2 * b) {
             if (aborted.load(std::memory_order_relaxed)) {
@@ -167,6 +221,7 @@ void chase_all_parallel(const Acc& acc, index_t b,
             deadline.poll(i, s);
             std::this_thread::yield();
           }
+          if (timed) account_wait(t0, &sweep_wait_us);
         };
         auto publish = [&](index_t s) {
           gcom[static_cast<std::size_t>(i)].store(s,
@@ -176,8 +231,19 @@ void chase_all_parallel(const Acc& acc, index_t b,
         SweepReflectors* sl =
             (log != nullptr) ? &log->sweeps[static_cast<std::size_t>(i)]
                              : nullptr;
-        chase_sweep(acc, b, i, sl, wait, publish);
+        {
+          struct InFlight {
+            std::atomic<int>& c;
+            ~InFlight() { c.fetch_sub(1, std::memory_order_relaxed); }
+          } guard{in_flight};
+          BcMetrics::get().sweep_concurrency_hwm->update_max(
+              in_flight.fetch_add(1, std::memory_order_relaxed) + 1);
+          chase_sweep(acc, b, i, sl, wait, publish);
+        }
         // chase_sweep's final publish(n + 3b) marks the sweep complete.
+        BcMetrics::get().sweeps->inc();
+        sweep_span.attr("gate_wait_us",
+                        static_cast<long long>(sweep_wait_us));
       } catch (...) {
         poison(std::current_exception());
         return;

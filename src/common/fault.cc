@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace tdg::fault {
 
@@ -48,7 +49,14 @@ bool should_fire_slow(const char* site) {
   ++s.hits;
   const bool fire = s.hits >= s.trigger &&
                     (s.fires < 0 || s.hits < s.trigger + s.fires);
-  if (fire) s.last_fired_hit = s.hits;
+  if (fire) {
+    s.last_fired_hit = s.hits;
+    // Always-on by design: injected-fault telemetry must be visible in
+    // metrics snapshots even when the process never armed TDG_METRICS.
+    static obs::Counter* const fires_counter =
+        obs::Registry::global().counter("fault.fires", obs::Gating::kAlways);
+    fires_counter->inc();
+  }
   return fire;
 }
 

@@ -1,0 +1,167 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace tdg::json {
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  int depth = 0;
+
+  void skip_ws() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+
+  bool parse_string(std::string* out) {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return false;
+        switch (*p) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          default: return false;  // \uXXXX etc: not produced by the writers
+        }
+        ++p;
+      } else {
+        out->push_back(*p++);
+      }
+    }
+    if (p >= end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_value(Value* out) {
+    if (++depth > 64) return false;
+    skip_ws();
+    if (p >= end) return false;
+    bool ok = false;
+    if (*p == '{') {
+      ++p;
+      out->kind = Value::kObject;
+      skip_ws();
+      if (p < end && *p == '}') {
+        ++p;
+        ok = true;
+      } else {
+        while (p < end) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(&key)) break;
+          skip_ws();
+          if (p >= end || *p != ':') break;
+          ++p;
+          Value v;
+          if (!parse_value(&v)) break;
+          out->obj.emplace_back(std::move(key), std::move(v));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == '}') {
+            ++p;
+            ok = true;
+          }
+          break;
+        }
+      }
+    } else if (*p == '[') {
+      ++p;
+      out->kind = Value::kArray;
+      skip_ws();
+      if (p < end && *p == ']') {
+        ++p;
+        ok = true;
+      } else {
+        while (p < end) {
+          Value v;
+          if (!parse_value(&v)) break;
+          out->arr.push_back(std::move(v));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == ']') {
+            ++p;
+            ok = true;
+          }
+          break;
+        }
+      }
+    } else if (*p == '"') {
+      out->kind = Value::kString;
+      ok = parse_string(&out->str);
+    } else if (end - p >= 4 && std::string_view(p, 4) == "true") {
+      out->kind = Value::kBool;
+      out->b = true;
+      p += 4;
+      ok = true;
+    } else if (end - p >= 5 && std::string_view(p, 5) == "false") {
+      out->kind = Value::kBool;
+      p += 5;
+      ok = true;
+    } else if (end - p >= 4 && std::string_view(p, 4) == "null") {
+      p += 4;
+      ok = true;
+    } else {
+      char* num_end = nullptr;
+      const std::string text(p, end);  // strtod needs a terminated buffer
+      out->num = std::strtod(text.c_str(), &num_end);
+      if (num_end != text.c_str()) {
+        out->kind = Value::kNumber;
+        p += num_end - text.c_str();
+        ok = true;
+      }
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+bool parse(const std::string& text, Value* out) {
+  Parser parser{text.data(), text.data() + text.size()};
+  if (!parser.parse_value(out)) return false;
+  parser.skip_ws();
+  return parser.p == parser.end;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace tdg::json

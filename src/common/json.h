@@ -1,0 +1,38 @@
+// Minimal JSON reader shared by the plan cache and the observability tests.
+//
+// Supports the subset the library's writers emit: objects, arrays,
+// double-quoted strings with the common escapes, numbers, true/false/null.
+// Any malformed input makes parsing fail as a whole — callers treat that as
+// "no data" (corrupted-file recovery), never as a partial read.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tdg::json {
+
+struct Value {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;
+
+  /// First member with `key` in an object, or nullptr.
+  const Value* find(const std::string& key) const {
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+/// Parse `text` into *out. Returns false on any syntax error or trailing
+/// garbage (out is then unspecified).
+bool parse(const std::string& text, Value* out);
+
+/// Escape a string for embedding inside a double-quoted JSON string.
+std::string escape(const std::string& s);
+
+}  // namespace tdg::json

@@ -7,6 +7,8 @@
 #include <memory>
 
 #include "common/fault.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace tdg {
 
@@ -14,6 +16,27 @@ namespace {
 
 thread_local int t_limit = 0;
 thread_local bool t_in_pool_task = false;
+
+/// Pool metrics, resolved once against the global registry. Every inc() is
+/// gated (one relaxed load when disarmed), so sites call unconditionally.
+struct PoolMetrics {
+  obs::Counter* tasks_run;
+  obs::Counter* dispatches;
+  obs::Counter* parks;
+  obs::Counter* wakes;
+  obs::Histogram* queue_wait_us;
+
+  static PoolMetrics& get() {
+    static PoolMetrics m = [] {
+      obs::Registry& r = obs::Registry::global();
+      return PoolMetrics{r.counter("pool.tasks_run"),
+                         r.counter("pool.dispatches"), r.counter("pool.parks"),
+                         r.counter("pool.wakes"),
+                         r.histogram("pool.queue_wait_us")};
+    }();
+    return m;
+  }
+};
 
 /// RAII flag flip for the caller-participates paths: exception-safe where
 /// the old manual set/reset was not.
@@ -134,17 +157,34 @@ void ThreadPool::ensure_workers(int n) {
 
 void ThreadPool::worker_loop() {
   t_in_pool_task = true;  // tasks on this thread never re-dispatch
+  PoolMetrics& m = PoolMetrics::get();
   for (;;) {
-    std::function<void()> job;
+    Job job;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (!stop_ && queue_.empty()) {
+        m.parks->inc();
+        cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+        m.wakes->inc();
+      }
       if (stop_ && queue_.empty()) return;
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    if (job.enq_us > 0.0) {
+      m.queue_wait_us->record(
+          static_cast<long long>(obs::now_us() - job.enq_us));
+    }
+    m.tasks_run->inc();
+    job.fn();
   }
+}
+
+void ThreadPool::enqueue_locked(std::function<void()> fn) {
+  Job j;
+  j.fn = std::move(fn);
+  if (obs::metrics_armed()) j.enq_us = obs::now_us();
+  queue_.push_back(std::move(j));
 }
 
 void ThreadPool::parallel_for(index_t begin, index_t end,
@@ -170,10 +210,11 @@ void ThreadPool::parallel_for(index_t begin, index_t end,
   st->total = n;
   st->fn = &fn;  // the caller blocks until every claimed index completed,
                  // so the reference outlives all uses
+  PoolMetrics::get().dispatches->inc();
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (int h = 0; h < helpers; ++h) {
-      queue_.emplace_back([st] { drive(*st); });
+      enqueue_locked([st] { drive(*st); });
     }
   }
   cv_.notify_all();
@@ -191,12 +232,15 @@ void ThreadPool::parallel_for(index_t begin, index_t end,
   }
   // Join point: every helper is done touching st, so rethrowing the first
   // captured failure is safe and the region behaves like a serial loop that
-  // threw (minus the not-yet-claimed tail).
+  // threw (minus the not-yet-claimed tail). The exception is MOVED out so a
+  // helper's deferred release of its st reference never drops the last
+  // refcount on the exception object the caller is inspecting (that release
+  // lives in uninstrumented libstdc++ and reads as a race under TSan).
   if (st->failed.load(std::memory_order_acquire)) {
     std::exception_ptr e;
     {
       std::lock_guard<std::mutex> lk(st->mu);
-      e = st->error;
+      e = std::move(st->error);
     }
     std::rethrow_exception(e);
   }
@@ -227,10 +271,11 @@ void ThreadPool::run_concurrent(int copies,
   auto st = std::make_shared<ConcState>();
   st->fn = &fn;
   st->total = copies - 1;
+  PoolMetrics::get().dispatches->inc();
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (int c = 1; c < copies; ++c) {
-      queue_.emplace_back([st, c] {
+      enqueue_locked([st, c] {
         try {
           (*st->fn)(c);
         } catch (...) {
@@ -263,7 +308,9 @@ void ThreadPool::run_concurrent(int copies,
     st->cv.wait(lk, [&] {
       return st->done.load(std::memory_order_acquire) == st->total;
     });
-    first = st->error;
+    // Moved for the same reason as in parallel_for: the caller must end up
+    // sole owner of the exception it rethrows.
+    first = std::move(st->error);
   }
   if (first) std::rethrow_exception(first);
 }

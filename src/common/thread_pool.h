@@ -110,12 +110,21 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  /// Queue entry: the task plus its enqueue timestamp (stamped only while
+  /// metrics are armed; 0 otherwise) so the obs layer can histogram
+  /// queue-wait without a clock read on the disarmed path.
+  struct Job {
+    std::function<void()> fn;
+    double enq_us = 0.0;
+  };
+
   void worker_loop();
+  void enqueue_locked(std::function<void()> fn);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
   bool stop_ = false;
 };
 

@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "lapack/lapack.h"
+#include "obs/obs.h"
 #include "plan/plan.h"
 
 namespace tdg {
@@ -103,6 +104,8 @@ void check_lower_finite(ConstMatrixView a, const char* stage) {
 TridiagResult tridiagonalize(ConstMatrixView a, const TridiagOptions& opts) {
   TDG_CHECK(a.rows == a.cols, "tridiagonalize: matrix must be square");
   TDG_CHECK(a.rows >= 1, "tridiagonalize: empty matrix");
+  obs::Span span("tridiagonalize");
+  span.attr("n", a.rows);
   if (opts.check_finite) check_lower_finite(a, "tridiagonalize");
   if (a.rows == 1) {
     TridiagResult r;
@@ -127,19 +130,22 @@ TridiagResult tridiagonalize(ConstMatrixView a, const TridiagOptions& opts) {
   return tridiag_two_stage(a, o);
 }
 
-void apply_q(const TridiagResult& r, MatrixView c, const ApplyQOptions& opts) {
+void apply_q(const TridiagResult& r, MatrixView c, const ApplyQOptions& opts,
+             ApplyQBreakdown* breakdown) {
   const plan::ProblemShape shape{c.rows, true, c.cols};
   plan::PlannerOptions popts;
   popts.threads = opts.threads;
   const ApplyQOptions o =
       plan::resolve(opts, c.rows, plan::plan_for(shape, opts.plan, popts));
   ThreadLimit thread_scope(o.threads);
+  WallTimer t;
   if (r.method == TridiagMethod::kDirect) {
     TDG_CHECK(r.direct_a.rows() == c.rows,
               "apply_q: factors missing or size mismatch");
     if (c.rows >= 3) {
       lapack::apply_sytrd_q_left(r.direct_a.view(), r.direct_taus, c);
     }
+    if (breakdown != nullptr) breakdown->seconds_q1 = t.seconds();
     return;
   }
   TDG_CHECK(r.stage2.n == c.rows, "apply_q: factors missing or size mismatch");
@@ -147,7 +153,10 @@ void apply_q(const TridiagResult& r, MatrixView c, const ApplyQOptions& opts) {
   // (column-parallel) application; within-sweep reflectors have disjoint
   // row ranges, so it matches the one-at-a-time order bit for bit.
   bt::apply_q2_left_blocked(r.stage2, c, o.q2_group);
+  if (breakdown != nullptr) breakdown->seconds_q2 = t.seconds();
+  t.reset();
   bt::apply_q1_blocked(r.stage1, o.bt_kw, c);
+  if (breakdown != nullptr) breakdown->seconds_q1 = t.seconds();
 }
 
 void apply_q(const TridiagResult& r, MatrixView c, index_t bt_kw) {

@@ -107,12 +107,21 @@ struct ApplyQOptions {
   int threads = 0;
 };
 
+/// Per-stage wall times of one apply_q call (profiling). For the direct
+/// method everything lands in seconds_q1 (there is no stage-2 factor).
+struct ApplyQBreakdown {
+  double seconds_q2 = 0.0;  // stage-2 (bulge-chase reflectors) application
+  double seconds_q1 = 0.0;  // stage-1 (band-reduction) application
+};
+
 /// Apply the accumulated orthogonal factor: c <- Q c where A = Q T Q^T.
 /// Requires the result to have been computed with want_factors = true.
 /// `bt_kw`: group width for the stage-1 blocked back transformation.
 void apply_q(const TridiagResult& r, MatrixView c, index_t bt_kw = 256);
 
-/// Same, with the full option set.
-void apply_q(const TridiagResult& r, MatrixView c, const ApplyQOptions& opts);
+/// Same, with the full option set; `breakdown` (optional) receives the
+/// per-stage wall times.
+void apply_q(const TridiagResult& r, MatrixView c, const ApplyQOptions& opts,
+             ApplyQBreakdown* breakdown = nullptr);
 
 }  // namespace tdg

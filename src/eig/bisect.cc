@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "la/blas.h"
+#include "obs/obs.h"
 
 namespace tdg::eig {
 
@@ -34,6 +35,10 @@ std::vector<double> eigenvalues_bisect(const std::vector<double>& d,
   const index_t n = static_cast<index_t>(d.size());
   TDG_CHECK(n >= 1 && e.size() + 1 >= d.size(), "eigenvalues_bisect: sizes");
   TDG_CHECK(0 <= il && il <= iu && iu < n, "eigenvalues_bisect: bad range");
+
+  obs::Span bisect_span("bisect");
+  bisect_span.attr("n", n);
+  bisect_span.attr("nvals", iu - il + 1);
 
   // Gershgorin bounds.
   double lo = d[0], hi = d[0];

@@ -1,11 +1,19 @@
 #include "eig/drivers.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "eig/bisect.h"
 #include "eig/eig.h"
+#include "gpumodel/bc_pipeline_model.h"
+#include "gpumodel/device_spec.h"
+#include "gpumodel/kernel_model.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "plan/plan.h"
 
 namespace tdg::eig {
@@ -54,6 +62,119 @@ bool recoverable(const Error& err) {
   return err.code() == ErrorCode::kNoConvergence;
 }
 
+/// Count a taken recovery path in the metrics registry. Always-on
+/// (obs::Gating::kAlways): a fallback happens at most a handful of times per
+/// eigh and its total must be trustworthy telemetry even in processes that
+/// never armed TDG_METRICS.
+void count_recovery(const std::string& path) {
+  obs::Registry& r = obs::Registry::global();
+  static obs::Counter* const dc_steqr =
+      r.counter("evd.recovery.dc_steqr", obs::Gating::kAlways);
+  static obs::Counter* const dc_steqr_bisect =
+      r.counter("evd.recovery.dc_steqr_bisect", obs::Gating::kAlways);
+  static obs::Counter* const steqr_bisect =
+      r.counter("evd.recovery.steqr_bisect", obs::Gating::kAlways);
+  if (path == "dc->steqr") {
+    dc_steqr->inc();
+  } else if (path == "dc->steqr->bisect") {
+    dc_steqr_bisect->inc();
+  } else if (path == "steqr->bisect") {
+    steqr_bisect->inc();
+  }
+}
+
+/// Build a PhaseProfile from a measured time plus the shape trace the phase
+/// recorded; model_seconds prices the same ops on the H100 model.
+PhaseProfile phase_from_ops(std::string name, double seconds,
+                            const std::vector<trace::Op>& ops,
+                            const gpumodel::KernelModel& model) {
+  PhaseProfile p;
+  p.name = std::move(name);
+  p.seconds = seconds;
+  for (const auto& op : ops) p.flops += trace::flops(op);
+  p.gflops = seconds > 0.0 ? p.flops / seconds / 1e9 : 0.0;
+  p.model_seconds = gpumodel::price_trace(model, ops).seconds;
+  return p;
+}
+
+/// The tridiagonalization phase with stage-1/stage-2 children. Stage-1
+/// flops come from the recorded BLAS shapes; stage 2 (the parallel chase
+/// runs its steps on untraced pool workers) is counted exactly by the
+/// discrete-event pipeline model and priced by bc_gpu_seconds — the same
+/// model the benchmarks project with.
+PhaseProfile tridiag_phase(const TridiagResult& tri,
+                           const TridiagOptions& cfg, index_t n,
+                           double seconds, const trace::Recorder& rec,
+                           const gpumodel::KernelModel& model) {
+  PhaseProfile p;
+  p.name = "tridiagonalize";
+  p.seconds = seconds;
+
+  std::vector<trace::Op> s1_ops;
+  for (const auto& op : rec.ops()) {
+    if (op.kind != trace::OpKind::kBcStep) s1_ops.push_back(op);
+  }
+  const char* s1_name =
+      tri.method == TridiagMethod::kDirect
+          ? "sytrd"
+          : (tri.method == TridiagMethod::kTwoStageDbbr ? "dbbr" : "sy2sb");
+  p.children.push_back(
+      phase_from_ops(s1_name, tri.seconds_stage1, s1_ops, model));
+
+  if (tri.method != TridiagMethod::kDirect && n >= 3) {
+    PhaseProfile s2;
+    s2.name = "bulge_chase";
+    s2.seconds = tri.seconds_stage2;
+    const index_t b = std::max<index_t>(tri.b, 1);
+    index_t s = cfg.max_parallel_sweeps;
+    if (s <= 0) s = std::max<index_t>(n - 2, 1);
+    const gpumodel::BcPipelineStats stats = gpumodel::bc_simulate(n, b, s);
+    s2.flops = 12.0 * static_cast<double>(b) * static_cast<double>(b) *
+               stats.busy_steps;
+    s2.gflops = s2.seconds > 0.0 ? s2.flops / s2.seconds / 1e9 : 0.0;
+    s2.model_seconds = gpumodel::bc_gpu_seconds(model.spec(), n, b, s);
+    p.children.push_back(std::move(s2));
+  }
+
+  for (const PhaseProfile& c : p.children) {
+    p.flops += c.flops;
+    p.model_seconds += c.model_seconds;
+  }
+  p.gflops = p.seconds > 0.0 ? p.flops / p.seconds / 1e9 : 0.0;
+  return p;
+}
+
+/// The back-transform phase with Q2/Q1 children, split by op kind: the
+/// chunked Q2 application records kBatchedGemm, the blocked Q1 application
+/// records plain GEMMs.
+PhaseProfile backtransform_phase(double seconds,
+                                 const ApplyQBreakdown& breakdown,
+                                 const trace::Recorder& rec,
+                                 const gpumodel::KernelModel& model) {
+  std::vector<trace::Op> q2_ops;
+  std::vector<trace::Op> q1_ops;
+  for (const auto& op : rec.ops()) {
+    if (op.kind == trace::OpKind::kBatchedGemm) {
+      q2_ops.push_back(op);
+    } else {
+      q1_ops.push_back(op);
+    }
+  }
+  PhaseProfile p;
+  p.name = "backtransform";
+  p.seconds = seconds;
+  p.children.push_back(
+      phase_from_ops("apply_q2", breakdown.seconds_q2, q2_ops, model));
+  p.children.push_back(
+      phase_from_ops("apply_q1", breakdown.seconds_q1, q1_ops, model));
+  for (const PhaseProfile& c : p.children) {
+    p.flops += c.flops;
+    p.model_seconds += c.model_seconds;
+  }
+  p.gflops = p.seconds > 0.0 ? p.flops / p.seconds / 1e9 : 0.0;
+  return p;
+}
+
 }  // namespace
 
 EvdResult eigh(ConstMatrixView a, const EvdOptions& opts) {
@@ -61,6 +182,9 @@ EvdResult eigh(ConstMatrixView a, const EvdOptions& opts) {
   const index_t n = a.rows;
   EvdResult res;
   if (n == 0) return res;
+  obs::Span eigh_span("eigh");
+  eigh_span.attr("n", n);
+  eigh_span.attr("vectors", opts.vectors ? 1 : 0);
   if (opts.check_finite) check_lower_finite(a, "eigh");
 
   // One thread budget for the whole pipeline: tridiagonalization, the D&C
@@ -71,8 +195,21 @@ EvdResult eigh(ConstMatrixView a, const EvdOptions& opts) {
   cfg.tridiag.check_finite = false;  // screened above; don't rescan
   res.plan_source = plan::to_string(cfg.source);
 
+  // Profiling: one shape recorder per phase. The kernels record their ops
+  // on the dispatching thread, so scoping the recorder around each phase
+  // attributes every BLAS call to exactly one phase.
+  const bool prof = opts.profile;
+  trace::Recorder tri_rec;
+  trace::Recorder solver_rec;
+  trace::Recorder bt_rec;
+
   WallTimer t;
-  TridiagResult tri = tridiagonalize(a, cfg.tridiag);
+  TridiagResult tri;
+  {
+    std::optional<trace::Scope> scope;
+    if (prof) scope.emplace(tri_rec);
+    tri = tridiagonalize(a, cfg.tridiag);
+  }
   res.seconds_tridiag = t.seconds();
 
   // tri.d / tri.e stay pristine below: the solvers mutate copies, so every
@@ -84,14 +221,35 @@ EvdResult eigh(ConstMatrixView a, const EvdOptions& opts) {
     t.reset();
     // Values only: implicit QL without vector accumulation is the cheapest
     // (this is also what the paper's "w/o vectors" path amounts to).
-    try {
-      steqr(res.eigenvalues, e, nullptr);
-    } catch (const Error& err) {
-      if (!opts.solver_fallback || !recoverable(err)) throw;
-      res.recovery = "steqr->bisect";
-      res.eigenvalues = eigenvalues_bisect(tri.d, tri.e, 0, n - 1);
+    {
+      obs::Span solver_span("solver");
+      solver_span.attr("n", n);
+      std::optional<trace::Scope> scope;
+      if (prof) scope.emplace(solver_rec);
+      try {
+        steqr(res.eigenvalues, e, nullptr);
+      } catch (const Error& err) {
+        if (!opts.solver_fallback || !recoverable(err)) throw;
+        res.recovery = "steqr->bisect";
+        count_recovery(res.recovery);
+        res.eigenvalues = eigenvalues_bisect(tri.d, tri.e, 0, n - 1);
+      }
     }
     res.seconds_solver = t.seconds();
+    if (prof) {
+      const gpumodel::KernelModel model(gpumodel::h100_sxm(),
+                                        /*vendor_syr2k=*/false);
+      res.profile.enabled = true;
+      res.profile.phases.push_back(tridiag_phase(
+          tri, cfg.tridiag, n, res.seconds_tridiag, tri_rec, model));
+      res.profile.phases.push_back(
+          phase_from_ops("solver", res.seconds_solver, solver_rec.ops(),
+                         model));
+      for (const PhaseProfile& p : res.profile.phases) {
+        res.profile.total_seconds += p.seconds;
+        res.profile.total_flops += p.flops;
+      }
+    }
     return res;
   }
 
@@ -100,46 +258,77 @@ EvdResult eigh(ConstMatrixView a, const EvdOptions& opts) {
   // inverse iteration. Each stage restarts from the pristine (d, e).
   t.reset();
   Matrix z(n, n);
-  bool solved = false;
-  bool try_steqr = opts.solver != TridiagSolver::kDivideConquer;
-  if (opts.solver == TridiagSolver::kDivideConquer) {
-    try {
-      stedc(res.eigenvalues, e, z.view(), cfg.smlsiz);
-      solved = true;
-    } catch (const Error& err) {
-      if (!opts.solver_fallback || !recoverable(err)) throw;
-      res.recovery = "dc->steqr";
-      try_steqr = true;
+  {
+    obs::Span solver_span("solver");
+    solver_span.attr("n", n);
+    std::optional<trace::Scope> scope;
+    if (prof) scope.emplace(solver_rec);
+    bool solved = false;
+    bool try_steqr = opts.solver != TridiagSolver::kDivideConquer;
+    if (opts.solver == TridiagSolver::kDivideConquer) {
+      try {
+        stedc(res.eigenvalues, e, z.view(), cfg.smlsiz);
+        solved = true;
+      } catch (const Error& err) {
+        if (!opts.solver_fallback || !recoverable(err)) throw;
+        res.recovery = "dc->steqr";
+        count_recovery(res.recovery);
+        try_steqr = true;
+      }
     }
-  }
-  if (!solved && try_steqr) {
-    res.eigenvalues = tri.d;
-    e = tri.e;
-    z = Matrix::identity(n);
-    try {
-      MatrixView zv = z.view();
-      steqr(res.eigenvalues, e, &zv);
-      solved = true;
-    } catch (const Error& err) {
-      if (!opts.solver_fallback || !recoverable(err)) throw;
-      res.recovery = res.recovery.empty() ? "steqr->bisect"
-                                          : "dc->steqr->bisect";
+    if (!solved && try_steqr) {
+      res.eigenvalues = tri.d;
+      e = tri.e;
+      z = Matrix::identity(n);
+      try {
+        MatrixView zv = z.view();
+        steqr(res.eigenvalues, e, &zv);
+        solved = true;
+      } catch (const Error& err) {
+        if (!opts.solver_fallback || !recoverable(err)) throw;
+        res.recovery = res.recovery.empty() ? "steqr->bisect"
+                                            : "dc->steqr->bisect";
+        count_recovery(res.recovery);
+      }
     }
-  }
-  if (!solved) {
-    // Last resort, solver-free: bisection eigenvalues to machine precision
-    // and inverse-iteration vectors (clusters re-orthogonalised).
-    res.eigenvalues = eigenvalues_bisect(tri.d, tri.e, 0, n - 1);
-    z = Matrix(n, n);
-    inverse_iteration(tri.d, tri.e, res.eigenvalues, z.view());
+    if (!solved) {
+      // Last resort, solver-free: bisection eigenvalues to machine precision
+      // and inverse-iteration vectors (clusters re-orthogonalised).
+      res.eigenvalues = eigenvalues_bisect(tri.d, tri.e, 0, n - 1);
+      z = Matrix(n, n);
+      inverse_iteration(tri.d, tri.e, res.eigenvalues, z.view());
+    }
   }
   res.seconds_solver = t.seconds();
 
   // Back-transform into eigenvectors of A: V = Q * Z.
   t.reset();
-  apply_q(tri, z.view(), cfg.applyq);
+  ApplyQBreakdown bt_breakdown;
+  {
+    obs::Span bt_span("backtransform");
+    bt_span.attr("n", n);
+    std::optional<trace::Scope> scope;
+    if (prof) scope.emplace(bt_rec);
+    apply_q(tri, z.view(), cfg.applyq, &bt_breakdown);
+  }
   res.seconds_backtransform = t.seconds();
   res.eigenvectors = std::move(z);
+
+  if (prof) {
+    const gpumodel::KernelModel model(gpumodel::h100_sxm(),
+                                      /*vendor_syr2k=*/false);
+    res.profile.enabled = true;
+    res.profile.phases.push_back(tridiag_phase(
+        tri, cfg.tridiag, n, res.seconds_tridiag, tri_rec, model));
+    res.profile.phases.push_back(phase_from_ops(
+        "solver", res.seconds_solver, solver_rec.ops(), model));
+    res.profile.phases.push_back(backtransform_phase(
+        res.seconds_backtransform, bt_breakdown, bt_rec, model));
+    for (const PhaseProfile& p : res.profile.phases) {
+      res.profile.total_seconds += p.seconds;
+      res.profile.total_flops += p.flops;
+    }
+  }
   return res;
 }
 
@@ -148,6 +337,10 @@ EvdResult eigh_range(ConstMatrixView a, index_t il, index_t iu,
   TDG_CHECK(a.rows == a.cols, "eigh_range: matrix must be square");
   const index_t n = a.rows;
   TDG_CHECK(0 <= il && il <= iu && iu < n, "eigh_range: bad index range");
+  obs::Span span("eigh_range");
+  span.attr("n", n);
+  span.attr("il", il);
+  span.attr("iu", iu);
   if (opts.check_finite) check_lower_finite(a, "eigh_range");
 
   ThreadLimit thread_scope(opts.tridiag.threads);

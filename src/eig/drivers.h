@@ -41,6 +41,33 @@ struct EvdOptions {
   /// instead of failing; the path taken is recorded in EvdResult.recovery.
   /// Set false to surface the first solver failure unrecovered.
   bool solver_fallback = true;
+  /// Fill EvdResult.profile with a per-phase breakdown: measured seconds,
+  /// FP64 flops, achieved GFLOP/s, and the gpumodel H100 projection for the
+  /// same phase. Adds one trace::Recorder per phase (cheap: shape capture
+  /// only) plus one model pricing pass at the end.
+  bool profile = false;
+};
+
+/// One pipeline phase of a profiled run; `children` subdivides composite
+/// phases (tridiag -> stage1/stage2, backtransform -> q2/q1).
+struct PhaseProfile {
+  std::string name;
+  double seconds = 0.0;        // measured wall time
+  double flops = 0.0;          // FP64 flops attributed to this phase
+  double gflops = 0.0;         // achieved: flops / seconds / 1e9
+  double model_seconds = 0.0;  // gpumodel H100 projection (0 = not modeled)
+  std::vector<PhaseProfile> children;
+};
+
+/// Model-vs-measured breakdown of one eigh() run (EvdOptions::profile).
+/// Comparing `seconds` against `model_seconds` per phase shows how far the
+/// CPU execution sits from the paper's projected device times — the same
+/// shapes priced by the same KernelModel the benchmarks use.
+struct EvdProfile {
+  bool enabled = false;
+  std::vector<PhaseProfile> phases;  // pipeline order
+  double total_seconds = 0.0;
+  double total_flops = 0.0;
 };
 
 struct EvdResult {
@@ -59,6 +86,8 @@ struct EvdResult {
   double seconds_tridiag = 0.0;
   double seconds_solver = 0.0;
   double seconds_backtransform = 0.0;
+  /// Per-phase measured/model breakdown; empty unless EvdOptions::profile.
+  EvdProfile profile;
 };
 
 /// Full symmetric EVD of `a` (lower triangle read): A = V diag(w) V^T.

@@ -19,6 +19,7 @@
 #include "eig/eig.h"
 #include "eig/secular.h"
 #include "la/blas.h"
+#include "obs/obs.h"
 
 namespace tdg::eig {
 
@@ -253,6 +254,9 @@ void stedc(std::vector<double>& d, std::vector<double>& e, MatrixView q,
   TDG_CHECK(static_cast<index_t>(e.size()) >= std::max<index_t>(n - 1, 0),
             "stedc: e must have n-1 entries");
   if (n == 0) return;
+  obs::Span span("stedc");
+  span.attr("n", n);
+  span.attr("smlsiz", smlsiz);
   solve_recursive(d.data(), e.data(), n, q, smlsiz);
 }
 

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/fault.h"
 #include "eig/eig.h"
+#include "obs/obs.h"
 
 namespace tdg::eig {
 
@@ -34,6 +35,9 @@ void steqr(std::vector<double>& d, std::vector<double>& e, MatrixView* z) {
     TDG_CHECK(z->rows >= 1 && z->cols == n, "steqr: z must have n columns");
   }
   if (n == 0) return;
+  obs::Span span("steqr");
+  span.attr("n", n);
+  span.attr("vectors", z != nullptr ? 1 : 0);
   if (fault::should_fire("steqr_noconv")) {
     // Fires the solver's own failure path so callers exercise exactly the
     // recovery a genuine non-convergence would trigger.

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "lapack/lapack.h"
+#include "obs/obs.h"
 
 namespace tdg::lapack {
 
@@ -114,6 +115,10 @@ void sytrd(MatrixView a, std::vector<double>& d, std::vector<double>& e,
   e.assign(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)), 0.0);
   taus.assign(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)), 0.0);
   if (n == 0) return;
+
+  obs::Span span("sytrd");
+  span.attr("n", n);
+  span.attr("nb", nb);
 
   Matrix w(n, nb);
   index_t j0 = 0;

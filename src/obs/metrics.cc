@@ -1,0 +1,135 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace tdg::obs {
+
+namespace detail {
+
+std::atomic<int> g_metrics_armed{0};
+
+int shard_index() {
+  // A small per-thread id assigned on first use spreads threads across
+  // shards without hashing pthread handles.
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id % kShards;
+}
+
+}  // namespace detail
+
+void arm_metrics() {
+  detail::g_metrics_armed.store(1, std::memory_order_relaxed);
+}
+
+void disarm_metrics() {
+  detail::g_metrics_armed.store(0, std::memory_order_relaxed);
+}
+
+Counter* Registry::counter(const std::string& name, Gating gating) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>(gating);
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name, Gating gating) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>(gating);
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name, Gating gating) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(gating);
+  return slot.get();
+}
+
+std::string Registry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"schema_version\":1,\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << '"' << json::escape(name)
+       << "\":" << c->value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << '"' << json::escape(name)
+       << "\":" << g->value();
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << '"' << json::escape(name)
+       << "\":{\"count\":" << h->count() << ",\"sum\":" << h->sum()
+       << ",\"buckets\":[";
+    int hi = Histogram::kBuckets;
+    while (hi > 0 && h->bucket(hi - 1) == 0) --hi;
+    for (int i = 0; i < hi; ++i) os << (i ? "," : "") << h->bucket(i);
+    os << "]}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+bool Registry::write(const std::string& path) const {
+  const std::string line = snapshot_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fputs(line.c_str(), f) >= 0;
+  ok = std::fputc('\n', f) != EOF && ok;
+  ok = std::fflush(f) == 0 && ok;
+  std::fclose(f);
+  return ok;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& Registry::global() {
+  static Registry* reg = [] {
+    auto* r = new Registry();  // leaked: must outlive atexit writers
+    // Pre-register the canonical set (docs/ALGORITHMS.md §12) so every
+    // snapshot carries every metric, at zero if untouched.
+    r->counter("pool.tasks_run");
+    r->counter("pool.dispatches");
+    r->counter("pool.parks");
+    r->counter("pool.wakes");
+    r->histogram("pool.queue_wait_us");
+    r->counter("bc.sweeps");
+    r->counter("bc.gate_spin_episodes");
+    r->counter("bc.stall_near_miss");
+    r->histogram("bc.gate_wait_us");
+    r->gauge("bc.sweep_concurrency_hwm");
+    r->counter("evd.recovery.dc_steqr", Gating::kAlways);
+    r->counter("evd.recovery.dc_steqr_bisect", Gating::kAlways);
+    r->counter("evd.recovery.steqr_bisect", Gating::kAlways);
+    r->counter("plan.cache_hits", Gating::kAlways);
+    r->counter("plan.cache_misses", Gating::kAlways);
+    r->counter("plan.measure_runs", Gating::kAlways);
+    r->counter("plan.cache_loads", Gating::kAlways);
+    r->counter("plan.cache_saves", Gating::kAlways);
+    r->counter("plan.cache_save_failures", Gating::kAlways);
+    r->counter("plan.cache_lock_failures", Gating::kAlways);
+    r->counter("fault.fires", Gating::kAlways);
+    return r;
+  }();
+  return *reg;
+}
+
+}  // namespace tdg::obs

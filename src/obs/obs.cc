@@ -1,0 +1,188 @@
+#include "obs/obs.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace tdg::obs {
+
+namespace detail {
+
+std::atomic<int> g_trace_armed{0};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Process-wide trace epoch: first touch of the trace machinery. Everything
+// in the export is relative to this, which keeps timestamps small and lets
+// Perfetto render from t=0.
+Clock::time_point epoch() {
+  static const Clock::time_point t0 = Clock::now();
+  return t0;
+}
+
+double since_epoch_us(Clock::time_point t) {
+  return std::chrono::duration<double, std::micro>(t - epoch()).count();
+}
+
+// Spans land in per-thread buffers so recording never contends across
+// threads. Each buffer has its own mutex, taken only on armed appends and
+// on snapshot; buffers are shared_ptrs registered in a global list so
+// snapshot outlives thread exit.
+struct ThreadBuf {
+  std::mutex mu;
+  std::vector<SpanEvent> events;
+  int tid = 0;
+};
+
+struct BufRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  int next_tid = 0;
+};
+
+BufRegistry& buf_registry() {
+  static BufRegistry* r = new BufRegistry();  // leaked: atexit writers read it
+  return *r;
+}
+
+ThreadBuf& local_buf() {
+  thread_local const std::shared_ptr<ThreadBuf> buf = [] {
+    auto b = std::make_shared<ThreadBuf>();
+    BufRegistry& r = buf_registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    b->tid = r.next_tid++;
+    r.bufs.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+// Open-span depth on this thread. A plain thread_local int: spans never
+// migrate threads, and RAII guarantees balanced inc/dec even when an
+// exception unwinds through the scope.
+thread_local int t_depth = 0;
+
+void append_json_event(std::ostringstream& os, const SpanEvent& e,
+                       bool first) {
+  if (!first) os << ',';
+  os << "{\"name\":\"" << json::escape(e.name) << "\",\"cat\":\"tdg\","
+     << "\"ph\":\"X\",\"ts\":" << e.start_us << ",\"dur\":" << e.dur_us
+     << ",\"pid\":1,\"tid\":" << e.tid;
+  os << ",\"args\":{\"depth\":" << e.depth;
+  for (int i = 0; i < e.nattrs; ++i)
+    os << ",\"" << json::escape(e.attrs[i].key)
+       << "\":" << e.attrs[i].value;
+  if (e.flops > 0.0) os << ",\"flops\":" << e.flops;
+  os << "}}";
+}
+
+// Reads TDG_TRACE_JSON / TDG_METRICS once before main() (mirrors
+// fault.cc's EnvInit). Touching the leaked globals here guarantees they
+// are constructed before the atexit writers register, hence destroyed
+// never — the writers run against live state even during static
+// destruction. The global thread pool is created lazily at runtime (after
+// this), so its atexit-ordered destructor joins the workers before the
+// writers run.
+struct EnvInit {
+  EnvInit() {
+    if (const char* path = std::getenv("TDG_TRACE_JSON")) {
+      (void)buf_registry();
+      static const std::string trace_path = path;
+      arm_tracing();
+      std::atexit(+[] { (void)write_chrome_trace(trace_path); });
+    }
+    if (const char* path = std::getenv("TDG_METRICS")) {
+      (void)Registry::global();
+      static const std::string metrics_path = path;
+      arm_metrics();
+      std::atexit(+[] { (void)Registry::global().write(metrics_path); });
+    }
+  }
+};
+const EnvInit env_init;
+
+}  // namespace
+}  // namespace detail
+
+void arm_tracing() {
+  detail::g_trace_armed.store(1, std::memory_order_relaxed);
+}
+
+void disarm_tracing() {
+  detail::g_trace_armed.store(0, std::memory_order_relaxed);
+}
+
+double now_us() { return detail::since_epoch_us(detail::Clock::now()); }
+
+void Span::begin(const char* name) {
+  active_ = true;
+  ev_.name = name;
+  ev_.depth = detail::t_depth++;
+  ev_.start_us = now_us();
+}
+
+void Span::end() {
+  ev_.dur_us = now_us() - ev_.start_us;
+  --detail::t_depth;
+  active_ = false;
+  detail::ThreadBuf& buf = detail::local_buf();
+  ev_.tid = buf.tid;
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(ev_);
+}
+
+std::vector<SpanEvent> trace_snapshot() {
+  std::vector<SpanEvent> out;
+  detail::BufRegistry& r = detail::buf_registry();
+  std::lock_guard<std::mutex> rlock(r.mu);
+  for (const auto& buf : r.bufs) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  return out;
+}
+
+void clear_trace() {
+  detail::BufRegistry& r = detail::buf_registry();
+  std::lock_guard<std::mutex> rlock(r.mu);
+  for (const auto& buf : r.bufs) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+int open_span_depth() { return detail::t_depth; }
+
+std::string chrome_trace_json() {
+  const std::vector<SpanEvent> events = trace_snapshot();
+  std::ostringstream os;
+  os.precision(15);  // default 6 sig figs truncates microsecond timestamps
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& e : events) {
+    detail::append_json_event(os, e, first);
+    first = false;
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string text = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fputs(text.c_str(), f) >= 0;
+  ok = std::fputc('\n', f) != EOF && ok;
+  ok = std::fflush(f) == 0 && ok;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace tdg::obs

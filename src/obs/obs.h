@@ -1,0 +1,120 @@
+// Hierarchical phase spans — the tracing pillar of the observability layer.
+//
+// An obs::Span is an RAII scope that records one named interval (wall time,
+// thread, nesting depth, a few integer attributes, optionally a flop
+// credit) into a per-thread buffer. Instrumentation covers the whole
+// pipeline: sy2sb/dbbr panels and their trailing syr2k updates, the
+// band-to-band steps, each pipelined bulge-chase sweep (with its gate
+// spin-wait time as an attribute), the tridiagonal solvers, and both
+// back-transform stages. The recorded forest reconstructs a per-run span
+// tree per thread: spans on one thread are properly nested by construction
+// (RAII closes them in LIFO order, including through exceptions).
+//
+// Cost model (the tdg::fault contract): when tracing is disarmed, a span
+// site costs exactly one relaxed atomic load — no clock read, no
+// allocation, no buffer touch. Arm via the TDG_TRACE_JSON=<path>
+// environment variable (read once at startup; a Chrome/Perfetto trace-event
+// JSON file is written to <path> at process exit) or programmatically with
+// arm_tracing() + write_chrome_trace(). Only spans that have CLOSED are
+// exported; a span still open at snapshot time appears once it closes.
+//
+// The export loads directly into Perfetto / chrome://tracing: one complete
+// event ("ph":"X") per span, microsecond timestamps relative to process
+// start, span attributes under "args".
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace tdg::obs {
+
+namespace detail {
+extern std::atomic<int> g_trace_armed;  // 0 = disarmed: the fast path
+}  // namespace detail
+
+/// True when span collection is armed. One relaxed load — the entire
+/// disarmed cost of a span site.
+inline bool tracing_armed() {
+  return detail::g_trace_armed.load(std::memory_order_relaxed) != 0;
+}
+
+void arm_tracing();
+void disarm_tracing();
+
+/// One closed span. Times are microseconds since an arbitrary process-wide
+/// epoch (steady clock); tid is a small dense per-thread id; depth is the
+/// span's nesting level on its thread (0 = top level).
+struct SpanEvent {
+  static constexpr int kMaxAttrs = 4;
+  const char* name = "";  // string literal supplied at the span site
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  int tid = 0;
+  int depth = 0;
+  int nattrs = 0;
+  struct Attr {
+    const char* key;  // string literal
+    long long value;
+  } attrs[kMaxAttrs] = {};
+  double flops = 0.0;  // optional flop credit (0 = not recorded)
+};
+
+/// RAII span. Inert (single relaxed load, nothing else) when tracing is
+/// disarmed at construction; otherwise records a SpanEvent on destruction.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (tracing_armed()) begin(name);
+  }
+  ~Span() {
+    if (active_) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach "key":value to the span (first kMaxAttrs stick). `key` must be
+  /// a string literal. No-op when the span is inert.
+  void attr(const char* key, long long value) {
+    if (!active_ || ev_.nattrs >= SpanEvent::kMaxAttrs) return;
+    ev_.attrs[ev_.nattrs++] = {key, value};
+  }
+
+  /// Credit FP64 flops to the span (shows up as "flops" in args).
+  void add_flops(double f) {
+    if (active_) ev_.flops += f;
+  }
+
+  bool active() const { return active_; }
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  bool active_ = false;
+  SpanEvent ev_;
+};
+
+/// Microseconds since the process-wide trace epoch (for hand-timed
+/// sub-intervals like gate waits that are attached as attributes).
+double now_us();
+
+/// Copy of every closed span recorded since the last clear_trace(), all
+/// threads, in per-thread recording order.
+std::vector<SpanEvent> trace_snapshot();
+
+/// Drop all recorded spans (tests; also useful between benchmark reps).
+void clear_trace();
+
+/// Open-span depth on the calling thread — 0 means every Span constructed
+/// here has been destroyed (balanced even across exceptions).
+int open_span_depth();
+
+/// Write the recorded spans as Chrome trace-event JSON. Returns false on
+/// I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+/// Serialize the recorded spans to the Chrome trace-event JSON text.
+std::string chrome_trace_json();
+
+}  // namespace tdg::obs

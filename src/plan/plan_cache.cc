@@ -1,12 +1,8 @@
 #include "plan/plan_cache.h"
 
-#include <cctype>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
-#include <string_view>
-#include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -16,6 +12,7 @@
 #endif
 
 #include "common/fault.h"
+#include "common/json.h"
 #include "plan/fingerprint.h"
 
 namespace tdg::plan {
@@ -86,171 +83,25 @@ bool method_from_name(const std::string& s, TridiagMethod* m) {
   return true;
 }
 
-// ---- minimal JSON reader ---------------------------------------------------
-// Supports the subset the cache writes: objects, arrays, double-quoted
-// strings without escape processing beyond \", numbers, true/false/null.
-// Any malformed input makes parsing fail as a whole, which the callers
-// treat as "no cache" (corrupted-file recovery).
+// Cache-file reading goes through the shared tdg::json reader; any
+// malformed input makes parsing fail as a whole, which the callers treat
+// as "no cache" (corrupted-file recovery).
 
-struct JsonValue {
-  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<JsonValue> arr;
-  std::vector<std::pair<std::string, JsonValue>> obj;
+using json::Value;
 
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : obj)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-struct JsonParser {
-  const char* p;
-  const char* end;
-  int depth = 0;
-
-  void skip_ws() {
-    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
-  }
-
-  bool parse_string(std::string* out) {
-    if (p >= end || *p != '"') return false;
-    ++p;
-    out->clear();
-    while (p < end && *p != '"') {
-      if (*p == '\\') {
-        ++p;
-        if (p >= end) return false;
-        switch (*p) {
-          case '"': out->push_back('"'); break;
-          case '\\': out->push_back('\\'); break;
-          case '/': out->push_back('/'); break;
-          case 'n': out->push_back('\n'); break;
-          case 't': out->push_back('\t'); break;
-          default: return false;  // \uXXXX etc: not produced by the writer
-        }
-        ++p;
-      } else {
-        out->push_back(*p++);
-      }
-    }
-    if (p >= end) return false;
-    ++p;  // closing quote
-    return true;
-  }
-
-  bool parse_value(JsonValue* out) {
-    if (++depth > 32) return false;
-    skip_ws();
-    if (p >= end) return false;
-    bool ok = false;
-    if (*p == '{') {
-      ++p;
-      out->kind = JsonValue::kObject;
-      skip_ws();
-      if (p < end && *p == '}') {
-        ++p;
-        ok = true;
-      } else {
-        while (p < end) {
-          skip_ws();
-          std::string key;
-          if (!parse_string(&key)) break;
-          skip_ws();
-          if (p >= end || *p != ':') break;
-          ++p;
-          JsonValue v;
-          if (!parse_value(&v)) break;
-          out->obj.emplace_back(std::move(key), std::move(v));
-          skip_ws();
-          if (p < end && *p == ',') {
-            ++p;
-            continue;
-          }
-          if (p < end && *p == '}') {
-            ++p;
-            ok = true;
-          }
-          break;
-        }
-      }
-    } else if (*p == '[') {
-      ++p;
-      out->kind = JsonValue::kArray;
-      skip_ws();
-      if (p < end && *p == ']') {
-        ++p;
-        ok = true;
-      } else {
-        while (p < end) {
-          JsonValue v;
-          if (!parse_value(&v)) break;
-          out->arr.push_back(std::move(v));
-          skip_ws();
-          if (p < end && *p == ',') {
-            ++p;
-            continue;
-          }
-          if (p < end && *p == ']') {
-            ++p;
-            ok = true;
-          }
-          break;
-        }
-      }
-    } else if (*p == '"') {
-      out->kind = JsonValue::kString;
-      ok = parse_string(&out->str);
-    } else if (end - p >= 4 && std::string_view(p, 4) == "true") {
-      out->kind = JsonValue::kBool;
-      out->b = true;
-      p += 4;
-      ok = true;
-    } else if (end - p >= 5 && std::string_view(p, 5) == "false") {
-      out->kind = JsonValue::kBool;
-      p += 5;
-      ok = true;
-    } else if (end - p >= 4 && std::string_view(p, 4) == "null") {
-      p += 4;
-      ok = true;
-    } else {
-      char* num_end = nullptr;
-      const std::string text(p, end);  // strtod needs a terminated buffer
-      out->num = std::strtod(text.c_str(), &num_end);
-      if (num_end != text.c_str()) {
-        out->kind = JsonValue::kNumber;
-        p += num_end - text.c_str();
-        ok = true;
-      }
-    }
-    --depth;
-    return ok;
-  }
-};
-
-bool parse_json(const std::string& text, JsonValue* out) {
-  JsonParser parser{text.data(), text.data() + text.size()};
-  if (!parser.parse_value(out)) return false;
-  parser.skip_ws();
-  return parser.p == parser.end;
-}
-
-bool get_index(const JsonValue& obj, const char* key, index_t* out) {
-  const JsonValue* v = obj.find(key);
-  if (!v || v->kind != JsonValue::kNumber) return false;
+bool get_index(const Value& obj, const char* key, index_t* out) {
+  const Value* v = obj.find(key);
+  if (!v || v->kind != Value::kNumber) return false;
   *out = static_cast<index_t>(v->num);
   return true;
 }
 
-bool entry_from_json(const JsonValue& e, std::string* key, Plan* plan) {
-  const JsonValue* kv = e.find("key");
-  if (!kv || kv->kind != JsonValue::kString) return false;
+bool entry_from_json(const Value& e, std::string* key, Plan* plan) {
+  const Value* kv = e.find("key");
+  if (!kv || kv->kind != Value::kString) return false;
   *key = kv->str;
-  const JsonValue* method = e.find("method");
-  if (!method || method->kind != JsonValue::kString ||
+  const Value* method = e.find("method");
+  if (!method || method->kind != Value::kString ||
       !method_from_name(method->str, &plan->method)) {
     return false;
   }
@@ -267,9 +118,9 @@ bool entry_from_json(const JsonValue& e, std::string* key, Plan* plan) {
   }
   plan->threads = static_cast<int>(threads);
   plan->bc_threads = static_cast<int>(bc_threads);
-  const JsonValue* sec = e.find("seconds");
+  const Value* sec = e.find("seconds");
   plan->measured_seconds =
-      (sec && sec->kind == JsonValue::kNumber) ? sec->num : 0.0;
+      (sec && sec->kind == Value::kNumber) ? sec->num : 0.0;
   plan->source = PlanSource::kMeasured;
   return plan->b >= 1 && plan->k >= 1 && plan->sytrd_nb >= 1;
 }
@@ -280,14 +131,14 @@ bool parse_cache_file(const std::string& path,
   if (!in) return false;
   std::ostringstream ss;
   ss << in.rdbuf();
-  JsonValue root;
-  if (!parse_json(ss.str(), &root) || root.kind != JsonValue::kObject) {
+  Value root;
+  if (!json::parse(ss.str(), &root) || root.kind != Value::kObject) {
     return false;
   }
-  const JsonValue* entries = root.find("entries");
-  if (!entries || entries->kind != JsonValue::kArray) return false;
-  for (const JsonValue& e : entries->arr) {
-    if (e.kind != JsonValue::kObject) return false;
+  const Value* entries = root.find("entries");
+  if (!entries || entries->kind != Value::kArray) return false;
+  for (const Value& e : entries->arr) {
+    if (e.kind != Value::kObject) return false;
     std::string key;
     Plan plan;
     if (!entry_from_json(e, &key, &plan)) return false;
@@ -324,6 +175,34 @@ void merge_entry(std::map<std::string, Plan>* into, const std::string& key,
 
 }  // namespace
 
+PlanCache::PlanCache() {
+  // Private always-on counters: test instances must count identically to
+  // the global one without sharing its totals.
+  obs::Counter** slots[] = {&c_.hits,  &c_.misses,        &c_.measure_runs,
+                            &c_.loads, &c_.saves,         &c_.save_failures,
+                            &c_.lock_failures};
+  for (obs::Counter** slot : slots) {
+    owned_counters_.push_back(
+        std::make_unique<obs::Counter>(obs::Gating::kAlways));
+    *slot = owned_counters_.back().get();
+  }
+}
+
+PlanCache::PlanCache(UseRegistryTag) {
+  // The process-wide cache: stats live in the metrics registry, so
+  // TDG_METRICS snapshots and stats() read the same counters.
+  obs::Registry& r = obs::Registry::global();
+  c_.hits = r.counter("plan.cache_hits", obs::Gating::kAlways);
+  c_.misses = r.counter("plan.cache_misses", obs::Gating::kAlways);
+  c_.measure_runs = r.counter("plan.measure_runs", obs::Gating::kAlways);
+  c_.loads = r.counter("plan.cache_loads", obs::Gating::kAlways);
+  c_.saves = r.counter("plan.cache_saves", obs::Gating::kAlways);
+  c_.save_failures =
+      r.counter("plan.cache_save_failures", obs::Gating::kAlways);
+  c_.lock_failures =
+      r.counter("plan.cache_lock_failures", obs::Gating::kAlways);
+}
+
 std::string cache_key(const ProblemShape& shape) {
   char buf[96];
   std::snprintf(buf, sizeof(buf), "|n=%lld|vec=%d|sub=%lld",
@@ -339,11 +218,11 @@ bool PlanCache::lookup(const std::string& key, Plan* out) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
-    ++stats_.misses;
+    c_.misses->inc();
     ++shape_stats_[key].misses;
     return false;
   }
-  ++stats_.hits;
+  c_.hits->inc();
   ++shape_stats_[key].hits;
   *out = it->second;
   out->source = PlanSource::kCache;
@@ -360,15 +239,12 @@ bool PlanCache::load(const std::string& path) {
   if (!parse_cache_file(path, &fresh)) return false;
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, plan] : fresh) merge_entry(&entries_, key, plan);
-  ++stats_.loads;
+  c_.loads->inc();
   return true;
 }
 
 bool PlanCache::save(const std::string& path) const {
-  auto note_failure = [&] {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.save_failures;
-  };
+  auto note_failure = [&] { c_.save_failures->inc(); };
   if (fault::should_fire("cache_save")) {
     // Simulated I/O failure, before any file is touched: callers must treat
     // a false return as "cache not updated", never as corruption.
@@ -380,10 +256,7 @@ bool PlanCache::save(const std::string& path) const {
   // failure fall back to the unlocked atomic-rename path (last-writer-wins,
   // the pre-flock behavior) rather than dropping the save.
   FileLock file_lock(path + ".lock");
-  if (!file_lock.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.lock_failures;
-  }
+  if (!file_lock.ok()) c_.lock_failures->inc();
 
   std::map<std::string, Plan> merged;
   parse_cache_file(path, &merged);  // unparsable file = start empty
@@ -410,10 +283,7 @@ bool PlanCache::save(const std::string& path) const {
     note_failure();
     return false;
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.saves;
-  }
+  c_.saves->inc();
   return true;
 }
 
@@ -428,8 +298,15 @@ std::size_t PlanCache::size() const {
 }
 
 CacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  CacheStats s;
+  s.hits = c_.hits->value();
+  s.misses = c_.misses->value();
+  s.measure_runs = c_.measure_runs->value();
+  s.loads = c_.loads->value();
+  s.saves = c_.saves->value();
+  s.save_failures = c_.save_failures->value();
+  s.lock_failures = c_.lock_failures->value();
+  return s;
 }
 
 std::map<std::string, ShapeStats> PlanCache::shape_stats() const {
@@ -439,18 +316,24 @@ std::map<std::string, ShapeStats> PlanCache::shape_stats() const {
 
 void PlanCache::reset_stats() {
   std::lock_guard<std::mutex> lock(mu_);
-  stats_ = CacheStats{};
+  c_.hits->reset();
+  c_.misses->reset();
+  c_.measure_runs->reset();
+  c_.loads->reset();
+  c_.saves->reset();
+  c_.save_failures->reset();
+  c_.lock_failures->reset();
   shape_stats_.clear();
 }
 
 void PlanCache::note_measure_run(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.measure_runs;
+  c_.measure_runs->inc();
   ++shape_stats_[key].measure_runs;
 }
 
 PlanCache& PlanCache::global() {
-  static PlanCache cache;
+  static PlanCache cache{UseRegistryTag{}};
   return cache;
 }
 

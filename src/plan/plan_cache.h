@@ -25,15 +25,22 @@
 // never an error. All operations are thread-safe.
 //
 // Telemetry: the cache counts hits/misses (total and per shape bucket),
-// measure-tier runs, and load/save outcomes. Query with stats() /
+// measure-tier runs, and load/save outcomes. The counters are obs::Counter
+// instances (always-on gating): the global() cache's counters live in
+// obs::Registry::global() under the "plan.*" names, so TDG_METRICS
+// snapshots and stats() read the same storage; non-global instances (tests)
+// own private counters with identical semantics. Query with stats() /
 // shape_stats(); bench_plan emits them as a JSON line so regressions in
 // heuristic quality show up in the perf trajectory.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "plan/plan.h"
 
 namespace tdg::plan {
@@ -62,6 +69,9 @@ std::string cache_key(const ProblemShape& shape);
 
 class PlanCache {
  public:
+  /// A cache with private stats counters (tests construct these freely).
+  PlanCache();
+
   /// Look up a key; on hit copies the stored plan into *out (with source =
   /// PlanSource::kCache) and returns true.
   bool lookup(const std::string& key, Plan* out) const;
@@ -93,9 +103,27 @@ class PlanCache {
   static PlanCache& global();
 
  private:
+  struct UseRegistryTag {};
+  /// The global() constructor: counters aliased into the process metrics
+  /// registry under "plan.cache_hits" etc. instead of privately owned.
+  explicit PlanCache(UseRegistryTag);
+
+  /// Pointers to the seven stat counters, either into owned_counters_ or
+  /// into obs::Registry::global().
+  struct Counters {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* measure_runs = nullptr;
+    obs::Counter* loads = nullptr;
+    obs::Counter* saves = nullptr;
+    obs::Counter* save_failures = nullptr;
+    obs::Counter* lock_failures = nullptr;
+  };
+
   mutable std::mutex mu_;
   std::map<std::string, Plan> entries_;
-  mutable CacheStats stats_;
+  std::vector<std::unique_ptr<obs::Counter>> owned_counters_;
+  Counters c_;
   mutable std::map<std::string, ShapeStats> shape_stats_;
 };
 

@@ -19,6 +19,7 @@
 #include <algorithm>
 
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 #include "sbr/internal.h"
 #include "sbr/sbr.h"
 
@@ -48,6 +49,11 @@ BandFactor dbbr(MatrixView a, const BandReductionOptions& opts) {
   // reduction (JIT panel GEMMs, symm, and the fat trailing syr2k).
   ThreadLimit thread_scope(opts.threads);
 
+  obs::Span dbbr_span("dbbr");
+  dbbr_span.attr("n", n);
+  dbbr_span.attr("b", b);
+  dbbr_span.attr("k", k);
+
   BandFactor f;
   f.n = n;
   f.b = b;
@@ -65,6 +71,10 @@ BandFactor dbbr(MatrixView a, const BandReductionOptions& opts) {
     for (index_t j = i; j < i + k && n - j - b >= 1; j += b) {
       const index_t m = n - j - b;       // rows of the below-band panel
       const index_t w = std::min(b, m);  // panel width
+
+      obs::Span panel_span("dbbr.panel");
+      panel_span.attr("j", j);
+      panel_span.attr("width", w);
 
       if (cols > 0) {
         // JIT refresh of this panel's column block (rows j..n-1): apply all
@@ -108,6 +118,9 @@ BandFactor dbbr(MatrixView a, const BandReductionOptions& opts) {
 
     if (cols > 0 && t0 < n) {
       // One fat trailing update for the whole outer block (inner dim = cols).
+      obs::Span syr2k_span("dbbr.syr2k");
+      syr2k_span.attr("rows", n - t0);
+      syr2k_span.attr("inner", cols);
       trailing_syr2k(opts, y.block(t0, 0, n - t0, cols),
                      z.block(t0, 0, n - t0, cols), a.block(t0, t0, n - t0, n - t0));
     }

@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 #include "sbr/internal.h"
 #include "sbr/sbr.h"
 
@@ -60,6 +61,10 @@ BandFactor sy2sb(MatrixView a, index_t b, const BandReductionOptions& opts) {
   // reduction (panel symm and the per-panel trailing syr2k).
   ThreadLimit thread_scope(opts.threads);
 
+  obs::Span sy2sb_span("sy2sb");
+  sy2sb_span.attr("n", n);
+  sy2sb_span.attr("b", b);
+
   BandFactor f;
   f.n = n;
   f.b = b;
@@ -67,6 +72,9 @@ BandFactor sy2sb(MatrixView a, index_t b, const BandReductionOptions& opts) {
   for (index_t j = 0; n - j - b >= 1; j += b) {
     const index_t m = n - j - b;      // rows of the below-band panel
     const index_t w = std::min(b, m); // panel width
+    obs::Span panel_span("sy2sb.panel");
+    panel_span.attr("j", j);
+    panel_span.attr("width", w);
     MatrixView panel = a.block(j + b, j, m, w);
     lapack::WyFactor wy = lapack::panel_qr(panel);
     detail::zero_below_r(a, j, b, w);

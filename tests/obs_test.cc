@@ -1,0 +1,543 @@
+// Tests for the observability layer: metrics registry exactness and gating,
+// span-tree well-formedness (including the poisoned-gate unwind path),
+// Chrome-trace export, the plan-cache/registry aliasing, recovery counters,
+// and the EvdProfile model-vs-measured breakdown.
+//
+// gtest_discover_tests runs each case in its own process, so arming/
+// disarming the process-wide tracing and metrics flags here cannot leak
+// into other tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bc/bulge_chase_parallel.h"
+#include "common/check.h"
+#include "common/fault.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "eig/drivers.h"
+#include "la/generate.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "plan/plan_cache.h"
+
+namespace tdg {
+namespace {
+
+/// Arm tracing for one test body and leave the recorder empty afterwards.
+struct ScopedTracing {
+  ScopedTracing() {
+    obs::clear_trace();
+    obs::arm_tracing();
+  }
+  ~ScopedTracing() {
+    obs::disarm_tracing();
+    obs::clear_trace();
+  }
+};
+
+struct ScopedMetrics {
+  ScopedMetrics() { obs::arm_metrics(); }
+  ~ScopedMetrics() { obs::disarm_metrics(); }
+};
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+
+TEST(Metrics, CounterExactUnderConcurrentIncrements) {
+  ScopedMetrics armed;
+  obs::Counter* c = obs::Registry::global().counter("test.exactness");
+  c->reset();
+
+  constexpr int kThreads = 8;
+  constexpr long long kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (long long i = 0; i < kPerThread; ++i) c->inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Sharded counters: after the writers joined the sum must be exact.
+  EXPECT_EQ(c->value(), kThreads * kPerThread);
+}
+
+TEST(Metrics, ArmedGatingDropsIncrementsWhenDisarmed) {
+  ASSERT_FALSE(obs::metrics_armed());
+  obs::Counter gated(obs::Gating::kArmed);
+  obs::Counter always(obs::Gating::kAlways);
+  gated.inc();
+  always.inc();
+  EXPECT_EQ(gated.value(), 0);  // disarmed hot-path site: dropped
+  EXPECT_EQ(always.value(), 1);  // control-plane site: counted regardless
+
+  obs::arm_metrics();
+  gated.inc();
+  obs::disarm_metrics();
+  EXPECT_EQ(gated.value(), 1);
+}
+
+TEST(Metrics, GaugeTracksHighWaterMarkUnderThreads) {
+  ScopedMetrics armed;
+  obs::Gauge g;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&g, t] {
+      for (long long v = 0; v <= 1000; ++v) g.update_max(v * (t + 1) % 997);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(g.value(), 996);  // max of v*(t+1) mod 997 over all t, v
+}
+
+TEST(Metrics, HistogramBucketsConsistentUnderThreads) {
+  ScopedMetrics armed;
+  obs::Histogram h;
+  constexpr int kThreads = 4;
+  constexpr long long kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (long long i = 0; i < kPerThread; ++i) h.record(i % 1000);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  long long expected_sum = 0;
+  for (long long i = 0; i < kPerThread; ++i) expected_sum += i % 1000;
+  EXPECT_EQ(h.sum(), kThreads * expected_sum);
+
+  // Power-of-two bucketing: 0 and 1 land in bucket 0, [2,4) in bucket 1, ...
+  obs::Histogram b;
+  b.record(0);
+  b.record(1);
+  b.record(2);
+  b.record(3);
+  b.record(4);
+  EXPECT_EQ(b.bucket(0), 2);
+  EXPECT_EQ(b.bucket(1), 2);
+  EXPECT_EQ(b.bucket(2), 1);
+}
+
+TEST(Metrics, SnapshotJsonParsesWithCanonicalKeys) {
+  const std::string snap = obs::Registry::global().snapshot_json();
+  json::Value root;
+  ASSERT_TRUE(json::parse(snap, &root)) << snap;
+  ASSERT_EQ(root.kind, json::Value::kObject);
+
+  const json::Value* ver = root.find("schema_version");
+  ASSERT_NE(ver, nullptr);
+  EXPECT_EQ(ver->num, 1.0);
+
+  const json::Value* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->kind, json::Value::kObject);
+  // The canonical pre-registered set: pool, chase, recovery, plan cache,
+  // fault — present (at zero) even in a process that never touched them.
+  for (const char* name :
+       {"pool.tasks_run", "pool.dispatches", "pool.parks", "pool.wakes",
+        "bc.sweeps", "bc.gate_spin_episodes", "bc.stall_near_miss",
+        "evd.recovery.dc_steqr", "evd.recovery.dc_steqr_bisect",
+        "evd.recovery.steqr_bisect", "plan.cache_hits", "plan.cache_misses",
+        "fault.fires"}) {
+    EXPECT_NE(counters->find(name), nullptr) << name;
+  }
+
+  const json::Value* gauges = root.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_NE(gauges->find("bc.sweep_concurrency_hwm"), nullptr);
+
+  const json::Value* hists = root.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* qw = hists->find("pool.queue_wait_us");
+  ASSERT_NE(qw, nullptr);
+  ASSERT_EQ(qw->kind, json::Value::kObject);
+  EXPECT_NE(qw->find("count"), nullptr);
+  EXPECT_NE(qw->find("sum"), nullptr);
+  const json::Value* buckets = qw->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  EXPECT_EQ(buckets->kind, json::Value::kArray);
+}
+
+TEST(Metrics, PoolCountersObserveWork) {
+  ScopedMetrics armed;
+  obs::Registry& r = obs::Registry::global();
+  obs::Counter* tasks = r.counter("pool.tasks_run");
+  obs::Counter* dispatches = r.counter("pool.dispatches");
+  const long long tasks0 = tasks->value();
+  const long long disp0 = dispatches->value();
+
+  ThreadLimit limit(4);
+  std::atomic<long long> sum{0};
+  ThreadPool::global().parallel_for(
+      0, 256, [&](index_t i) { sum.fetch_add(i, std::memory_order_relaxed); });
+
+  EXPECT_EQ(sum.load(), 256 * 255 / 2);
+  EXPECT_GT(dispatches->value(), disp0);
+  EXPECT_GE(tasks->value(), tasks0);  // > 0 unless the pool ran inline
+}
+
+TEST(Metrics, ChaseCountersObserveSweeps) {
+  ScopedMetrics armed;
+  obs::Registry& r = obs::Registry::global();
+  obs::Counter* sweeps = r.counter("bc.sweeps");
+  const long long sweeps0 = sweeps->value();
+
+  const index_t n = 64, b = 4;
+  Rng rng(7);
+  const Matrix a0 = random_symmetric_band(n, b, rng);
+  SymBandMatrix band = extract_band(a0.view(), b, std::min(2 * b, n - 1));
+  bc::ParallelChaseOptions opts;
+  opts.threads = 4;
+  bc::chase_packed_parallel(band, b, opts, nullptr);
+
+  EXPECT_EQ(sweeps->value() - sweeps0, n - 2);
+}
+
+TEST(Metrics, PlanCacheGlobalStatsAliasRegistry) {
+  obs::Counter* hits = obs::Registry::global().counter(
+      "plan.cache_hits", obs::Gating::kAlways);
+  obs::Counter* misses = obs::Registry::global().counter(
+      "plan.cache_misses", obs::Gating::kAlways);
+  const plan::CacheStats before = plan::PlanCache::global().stats();
+  EXPECT_EQ(before.hits, hits->value());
+  EXPECT_EQ(before.misses, misses->value());
+
+  plan::Plan out;
+  plan::PlanCache::global().lookup("obs-test-missing-key", &out);
+
+  const plan::CacheStats after = plan::PlanCache::global().stats();
+  EXPECT_EQ(after.misses, before.misses + 1);
+  // The global cache's counters ARE the registry's "plan.*" counters.
+  EXPECT_EQ(misses->value(), after.misses);
+}
+
+TEST(Metrics, LocalPlanCacheCountsPrivately) {
+  obs::Counter* registry_misses = obs::Registry::global().counter(
+      "plan.cache_misses", obs::Gating::kAlways);
+  const long long reg0 = registry_misses->value();
+
+  plan::PlanCache local;
+  plan::Plan out;
+  local.lookup("missing", &out);
+  EXPECT_EQ(local.stats().misses, 1);
+  EXPECT_EQ(registry_misses->value(), reg0);  // untouched by the local cache
+}
+
+// ---------------------------------------------------------------------------
+// Spans.
+
+TEST(Span, DisarmedSpanRecordsNothing) {
+  obs::clear_trace();
+  ASSERT_FALSE(obs::tracing_armed());
+  {
+    obs::Span s("ghost");
+    s.attr("k", 1);
+    EXPECT_FALSE(s.active());
+  }
+  EXPECT_TRUE(obs::trace_snapshot().empty());
+  EXPECT_EQ(obs::open_span_depth(), 0);
+}
+
+TEST(Span, TreeIsWellFormed) {
+  ScopedTracing traced;
+  {
+    obs::Span outer("outer");
+    outer.attr("n", 42);
+    {
+      obs::Span mid("mid");
+      { obs::Span inner("inner"); }
+    }
+    { obs::Span mid2("mid2"); }
+  }
+  EXPECT_EQ(obs::open_span_depth(), 0);
+
+  const std::vector<obs::SpanEvent> events = obs::trace_snapshot();
+  ASSERT_EQ(events.size(), 4u);
+
+  auto find = [&](const char* name) -> const obs::SpanEvent* {
+    for (const auto& e : events) {
+      if (std::string(e.name) == name) return &e;
+    }
+    return nullptr;
+  };
+  const obs::SpanEvent* outer = find("outer");
+  const obs::SpanEvent* mid = find("mid");
+  const obs::SpanEvent* inner = find("inner");
+  const obs::SpanEvent* mid2 = find("mid2");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(mid, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(mid2, nullptr);
+
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(mid->depth, 1);
+  EXPECT_EQ(inner->depth, 2);
+  EXPECT_EQ(mid2->depth, 1);
+  ASSERT_EQ(outer->nattrs, 1);
+  EXPECT_STREQ(outer->attrs[0].key, "n");
+  EXPECT_EQ(outer->attrs[0].value, 42);
+
+  // Children are contained in their parent's interval.
+  for (const obs::SpanEvent* child : {mid, inner, mid2}) {
+    EXPECT_GE(child->start_us, outer->start_us);
+    EXPECT_LE(child->start_us + child->dur_us,
+              outer->start_us + outer->dur_us);
+  }
+  // Siblings do not overlap.
+  EXPECT_LE(mid->start_us + mid->dur_us, mid2->start_us);
+}
+
+TEST(Span, BalancedAcrossExceptions) {
+  ScopedTracing traced;
+  try {
+    obs::Span outer("outer");
+    obs::Span inner("inner");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(obs::open_span_depth(), 0);
+  const auto events = obs::trace_snapshot();
+  EXPECT_EQ(events.size(), 2u);  // both spans closed by unwinding
+}
+
+/// Every pair of spans on one thread must be nested or disjoint — the
+/// recorded forest reconstructs a proper tree per thread.
+void expect_forest_well_formed(const std::vector<obs::SpanEvent>& events) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      const obs::SpanEvent& a = events[i];
+      const obs::SpanEvent& b = events[j];
+      if (a.tid != b.tid) continue;
+      const double a0 = a.start_us, a1 = a.start_us + a.dur_us;
+      const double b0 = b.start_us, b1 = b.start_us + b.dur_us;
+      const bool disjoint = a1 <= b0 || b1 <= a0;
+      const bool a_in_b = b0 <= a0 && a1 <= b1;
+      const bool b_in_a = a0 <= b0 && b1 <= a1;
+      EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+          << a.name << " [" << a0 << "," << a1 << ") vs " << b.name << " ["
+          << b0 << "," << b1 << ") on tid " << a.tid;
+    }
+  }
+}
+
+TEST(Span, PoisonedGateUnwindLeavesBalancedTree) {
+  ScopedTracing traced;
+  const index_t n = 64, b = 4;
+  Rng rng(43);
+  const Matrix a0 = random_symmetric_band(n, b, rng);
+  SymBandMatrix band = extract_band(a0.view(), b, std::min(2 * b, n - 1));
+
+  fault::Scoped armed("bc_stall");  // wedge the first claimed sweep
+  bc::ParallelChaseOptions opts;
+  opts.threads = 4;
+  opts.spin_timeout_ms = 200;
+  EXPECT_THROW(bc::chase_packed_parallel(band, b, opts, nullptr), Error);
+
+  // RAII closed every span during the unwind: the calling thread is back
+  // at depth 0 and the recorded forest is still properly nested.
+  EXPECT_EQ(obs::open_span_depth(), 0);
+  const auto events = obs::trace_snapshot();
+  expect_forest_well_formed(events);
+  bool saw_chase = false;
+  for (const auto& e : events) {
+    if (std::string(e.name) == "bulge_chase") saw_chase = true;
+  }
+  EXPECT_TRUE(saw_chase);
+}
+
+TEST(Span, PipelineRunProducesPerPhaseSpans) {
+  ScopedTracing traced;
+  const index_t n = 96;
+  Rng rng(5);
+  const Matrix a = random_symmetric(n, rng);
+  eig::EvdOptions opts;
+  opts.tridiag.method = TridiagMethod::kTwoStageDbbr;
+  opts.tridiag.b = 8;
+  opts.tridiag.k = 32;
+  const eig::EvdResult res = eig::eigh(a.view(), opts);
+  ASSERT_EQ(res.eigenvalues.size(), static_cast<std::size_t>(n));
+
+  const auto events = obs::trace_snapshot();
+  expect_forest_well_formed(events);
+  auto count = [&](const char* name) {
+    long long c = 0;
+    for (const auto& e : events) {
+      if (std::string(e.name) == name) ++c;
+    }
+    return c;
+  };
+  EXPECT_EQ(count("eigh"), 1);
+  EXPECT_EQ(count("tridiagonalize"), 1);
+  EXPECT_EQ(count("dbbr"), 1);
+  EXPECT_GE(count("dbbr.panel"), 1);
+  EXPECT_EQ(count("bulge_chase"), 1);
+  EXPECT_EQ(count("bc.sweep"), n - 2);  // one span per pipelined sweep
+  EXPECT_EQ(count("solver"), 1);
+  EXPECT_EQ(count("backtransform"), 1);
+  EXPECT_EQ(count("apply_q2"), 1);
+  EXPECT_EQ(count("apply_q1"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export.
+
+TEST(ChromeTrace, JsonParsesWithRequiredKeys) {
+  ScopedTracing traced;
+  {
+    obs::Span outer("phase_a");
+    outer.attr("n", 7);
+    outer.add_flops(123.0);
+    { obs::Span inner("phase_b"); }
+  }
+  const std::string text = obs::chrome_trace_json();
+  json::Value root;
+  ASSERT_TRUE(json::parse(text, &root)) << text;
+  ASSERT_EQ(root.kind, json::Value::kObject);
+  EXPECT_NE(root.find("displayTimeUnit"), nullptr);
+
+  const json::Value* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, json::Value::kArray);
+  ASSERT_EQ(events->arr.size(), 2u);
+  for (const json::Value& e : events->arr) {
+    ASSERT_EQ(e.kind, json::Value::kObject);
+    for (const char* key : {"name", "cat", "ph", "ts", "dur", "pid", "tid"}) {
+      EXPECT_NE(e.find(key), nullptr) << key;
+    }
+    EXPECT_EQ(e.find("ph")->str, "X");  // complete events
+    EXPECT_EQ(e.find("cat")->str, "tdg");
+    ASSERT_NE(e.find("args"), nullptr);
+  }
+
+  // The attribute and the flop credit surface under args.
+  bool saw_attr = false, saw_flops = false;
+  for (const json::Value& e : events->arr) {
+    const json::Value* args = e.find("args");
+    if (args->find("n") != nullptr) saw_attr = true;
+    if (args->find("flops") != nullptr) saw_flops = true;
+  }
+  EXPECT_TRUE(saw_attr);
+  EXPECT_TRUE(saw_flops);
+}
+
+TEST(ChromeTrace, WriteProducesLoadableFile) {
+  ScopedTracing traced;
+  { obs::Span s("solo"); }
+  const std::string path = "obs_test_trace.json";
+  ASSERT_TRUE(obs::write_chrome_trace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  in.close();
+  std::remove(path.c_str());
+
+  json::Value root;
+  ASSERT_TRUE(json::parse(ss.str(), &root));
+  const json::Value* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->arr.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery counters and fault accounting.
+
+TEST(Recovery, ForcedFallbackIncrementsAlwaysOnCounters) {
+  obs::Registry& r = obs::Registry::global();
+  obs::Counter* recov =
+      r.counter("evd.recovery.steqr_bisect", obs::Gating::kAlways);
+  obs::Counter* fires = r.counter("fault.fires", obs::Gating::kAlways);
+  const long long recov0 = recov->value();
+  const long long fires0 = fires->value();
+
+  const index_t n = 32;
+  Rng rng(11);
+  const Matrix a = random_symmetric(n, rng);
+  eig::EvdOptions vals_only;
+  vals_only.vectors = false;
+
+  fault::Scoped armed("steqr_noconv", 1, -1);
+  const eig::EvdResult res = eig::eigh(a.view(), vals_only);
+  EXPECT_EQ(res.recovery, "steqr->bisect");
+
+  // Both counters are control-plane (kAlways): they count with metrics
+  // disarmed, which is exactly the telemetry contract.
+  ASSERT_FALSE(obs::metrics_armed());
+  EXPECT_EQ(recov->value(), recov0 + 1);
+  EXPECT_GT(fires->value(), fires0);
+}
+
+// ---------------------------------------------------------------------------
+// EvdProfile.
+
+TEST(Profile, DisabledByDefault) {
+  const index_t n = 24;
+  Rng rng(3);
+  const Matrix a = random_symmetric(n, rng);
+  const eig::EvdResult res = eig::eigh(a.view());
+  EXPECT_FALSE(res.profile.enabled);
+  EXPECT_TRUE(res.profile.phases.empty());
+}
+
+TEST(Profile, ReportsMeasuredAndModeledPhases) {
+  const index_t n = 96;
+  Rng rng(9);
+  const Matrix a = random_symmetric(n, rng);
+  eig::EvdOptions opts;
+  opts.profile = true;
+  opts.tridiag.method = TridiagMethod::kTwoStageDbbr;
+  opts.tridiag.b = 8;
+  opts.tridiag.k = 32;
+  const eig::EvdResult res = eig::eigh(a.view(), opts);
+
+  ASSERT_TRUE(res.profile.enabled);
+  ASSERT_EQ(res.profile.phases.size(), 3u);  // tridiag, solver, backtransform
+  EXPECT_GT(res.profile.total_seconds, 0.0);
+  EXPECT_GT(res.profile.total_flops, 0.0);
+
+  const eig::PhaseProfile& tri = res.profile.phases[0];
+  EXPECT_EQ(tri.name, "tridiagonalize");
+  EXPECT_GT(tri.seconds, 0.0);
+  EXPECT_GT(tri.flops, 0.0);
+  EXPECT_GT(tri.gflops, 0.0);
+  EXPECT_GT(tri.model_seconds, 0.0);  // H100 projection of the same phase
+  // Two-stage runs subdivide: band reduction + bulge chase.
+  ASSERT_EQ(tri.children.size(), 2u);
+  EXPECT_EQ(tri.children[0].name, "dbbr");
+  EXPECT_EQ(tri.children[1].name, "bulge_chase");
+  EXPECT_GT(tri.children[1].flops, 0.0);
+  EXPECT_GT(tri.children[1].model_seconds, 0.0);
+
+  const eig::PhaseProfile& bt = res.profile.phases[2];
+  EXPECT_EQ(bt.name, "backtransform");
+  ASSERT_EQ(bt.children.size(), 2u);
+  EXPECT_EQ(bt.children[0].name, "apply_q2");
+  EXPECT_EQ(bt.children[1].name, "apply_q1");
+}
+
+TEST(Profile, ValuesOnlyRunHasNoBacktransformPhase) {
+  const index_t n = 48;
+  Rng rng(21);
+  const Matrix a = random_symmetric(n, rng);
+  eig::EvdOptions opts;
+  opts.profile = true;
+  opts.vectors = false;
+  const eig::EvdResult res = eig::eigh(a.view(), opts);
+  ASSERT_TRUE(res.profile.enabled);
+  ASSERT_EQ(res.profile.phases.size(), 2u);  // tridiag + solver
+  EXPECT_EQ(res.profile.phases[1].name, "solver");
+}
+
+}  // namespace
+}  // namespace tdg
