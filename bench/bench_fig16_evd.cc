@@ -5,10 +5,11 @@
 
 #include <cstdio>
 
+#include <tdg/eig.h>
+
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/timer.h"
-#include "eig/drivers.h"
 #include "gpumodel/bc_pipeline_model.h"
 #include "gpumodel/kernel_model.h"
 #include "gpumodel/trace_cost.h"

@@ -7,9 +7,10 @@
 
 #include <cstdio>
 
+#include <tdg/eig.h>
+
 #include "bench_util.h"
 #include "common/rng.h"
-#include "eig/drivers.h"
 #include "gpumodel/bc_pipeline_model.h"
 #include "gpumodel/kernel_model.h"
 #include "gpumodel/trace_cost.h"

@@ -19,12 +19,12 @@
 #include <string>
 #include <vector>
 
+#include <tdg/eig.h>
+
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/timer.h"
-#include "eig/drivers.h"
 #include "la/generate.h"
-#include "plan/plan.h"
 #include "plan/plan_cache.h"
 
 namespace tdg {

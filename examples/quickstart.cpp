@@ -9,9 +9,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <tdg/eig.h>
+
 #include "common/rng.h"
-#include "core/tridiag.h"
-#include "eig/drivers.h"
 #include "la/blas.h"
 #include "la/generate.h"
 

@@ -12,8 +12,9 @@
 #include <cstdlib>
 #include <vector>
 
+#include <tdg/eig.h>
+
 #include "common/rng.h"
-#include "eig/drivers.h"
 #include "la/blas.h"
 #include "la/generate.h"
 

@@ -15,8 +15,9 @@
 #include <cstdlib>
 #include <vector>
 
+#include <tdg/eig.h>
+
 #include "common/rng.h"
-#include "eig/drivers.h"
 #include "la/generate.h"
 
 int main(int argc, char** argv) {

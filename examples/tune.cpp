@@ -16,8 +16,9 @@
 #include <cstdlib>
 #include <string>
 
+#include <tdg/eig.h>
+
 #include "plan/fingerprint.h"
-#include "plan/plan.h"
 
 namespace {
 

@@ -1,0 +1,28 @@
+// Public umbrella header for the tdg eigensolver API.
+//
+// This is the one include consumers (examples, benches, downstream code)
+// need for the full driver surface:
+//
+//   tdg::eig::eigh          — full symmetric EVD, A = V diag(w) V^T
+//   tdg::eig::eigh_range    — subset EVD over eigenvalue indices [il, iu]
+//   tdg::eig::eigh_batched  — B independent small EVDs, one per pool worker
+//   tdg::tridiagonalize / tdg::apply_q — the two-stage pipeline pieces
+//
+// plus every option struct they take (EvdOptions, BatchOptions,
+// TridiagOptions, ApplyQOptions, plan::Knobs), the planner's public types
+// (PlanMode, plan::Plan, plan::ProblemShape, plan::plan_for) for plan
+// sharing via the eigh(..., plan) overloads, and the Matrix types.
+//
+// Internal headers under src/ remain includable for white-box use (the
+// figure-reproduction benches reach into src/gpumodel, for instance), but
+// everything needed to *call* the library is re-exported here; new code
+// should prefer `#include <tdg/eig.h>` over reaching into src/... paths.
+#pragma once
+
+#include "core/tridiag.h"   // tridiagonalize, apply_q, TridiagOptions
+#include "eig/batched.h"    // eigh_batched, BatchOptions, BatchResult
+#include "eig/drivers.h"    // eigh, eigh_range, EvdOptions, EvdResult
+#include "eig/eig.h"        // steqr, stedc (tridiagonal kernels)
+#include "la/matrix.h"      // Matrix, MatrixView, ConstMatrixView
+#include "plan/knobs.h"     // plan::Knobs (consolidated knob sub-struct)
+#include "plan/plan.h"      // PlanMode, plan::Plan, plan::plan_for

@@ -13,6 +13,7 @@
 
 #include "bc/bulge_chase.h"
 #include "la/matrix.h"
+#include "plan/knobs.h"
 #include "sbr/sbr.h"
 
 namespace tdg {
@@ -62,6 +63,13 @@ struct TridiagOptions {
   /// Error(kInvalidInput) carrying the first bad coordinate. One cheap
   /// O(n^2/2) read pass; set false to skip on pre-validated inputs.
   bool check_finite = true;
+  /// Downstream (solver / back-transform) knobs carried alongside the
+  /// tridiagonalization so one options object configures a full EVD
+  /// pipeline. tridiagonalize() itself never reads them; the eigh* drivers
+  /// fold them into the merged knob vector at plan::resolve_and_validate()
+  /// (lowest precedence, below EvdOptions::knobs and the deprecated loose
+  /// fields).
+  plan::Knobs knobs;
 };
 
 struct TridiagResult {
@@ -99,9 +107,14 @@ TridiagResult tridiagonalize(ConstMatrixView a, const TridiagOptions& opts);
 struct ApplyQOptions {
   /// Resolution policy for knobs left at 0 below.
   PlanMode plan = PlanMode::kHeuristic;
-  /// Group width for the stage-1 blocked back transformation. 0 = auto.
+  /// Consolidated knob sub-struct (preferred spelling; bt_kw / q2_group are
+  /// read from here first). Knobs::smlsiz is ignored by apply_q.
+  plan::Knobs knobs;
+  /// DEPRECATED alias for knobs.bt_kw (one release; still forwards, knobs
+  /// wins when both are set): stage-1 blocked group width. 0 = auto.
   index_t bt_kw = 0;
-  /// Reflector-chunk size for the stage-2 blocked Q2 application. 0 = auto.
+  /// DEPRECATED alias for knobs.q2_group: stage-2 reflector-chunk size for
+  /// the blocked Q2 application. 0 = auto.
   index_t q2_group = 0;
   /// Thread budget for the back-transformation kernels (0 = inherit).
   int threads = 0;

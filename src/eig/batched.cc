@@ -1,0 +1,232 @@
+#include "eig/batched.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "plan/plan_cache.h"
+
+namespace tdg::eig {
+
+namespace {
+
+/// Batch metrics, resolved once against the global registry. Always-on
+/// gating: a batch entry is control-plane traffic (one visit per problem,
+/// each worth a whole EVD), and the bucket/steal totals back the
+/// plan-sharing acceptance checks even in processes that never armed
+/// TDG_METRICS.
+struct BatchMetrics {
+  obs::Counter* problems;
+  obs::Counter* steals;
+  obs::Counter* plans_resolved;
+  obs::Counter* bucket_plan_hits;
+  obs::Counter* recoveries;
+  obs::Counter* failures;
+
+  static BatchMetrics& get() {
+    static BatchMetrics m = [] {
+      obs::Registry& r = obs::Registry::global();
+      return BatchMetrics{
+          r.counter("batch.problems", obs::Gating::kAlways),
+          r.counter("batch.steals", obs::Gating::kAlways),
+          r.counter("batch.plans_resolved", obs::Gating::kAlways),
+          r.counter("batch.bucket_plan_hits", obs::Gating::kAlways),
+          r.counter("batch.recoveries", obs::Gating::kAlways),
+          r.counter("batch.failures", obs::Gating::kAlways)};
+    }();
+    return m;
+  }
+};
+
+/// Shared problem queue: per-worker deques with back-stealing. One coarse
+/// mutex guards all of them — a pop happens once per problem (milliseconds
+/// of work), so contention is noise; what matters is that a worker that
+/// drains its own deque immediately picks up the back of the fullest
+/// remaining one instead of idling.
+class WorkQueue {
+ public:
+  explicit WorkQueue(std::vector<std::deque<index_t>> shards)
+      : shards_(std::move(shards)) {}
+
+  /// Next problem for worker w; *stolen reports whether it came from
+  /// another worker's share. Returns false when the batch is drained.
+  bool pop(int w, index_t* idx, bool* stolen) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& own = shards_[static_cast<std::size_t>(w)];
+    if (!own.empty()) {
+      *idx = own.front();
+      own.pop_front();
+      *stolen = false;
+      return true;
+    }
+    std::size_t victim = shards_.size();
+    std::size_t most = 0;
+    for (std::size_t v = 0; v < shards_.size(); ++v) {
+      if (shards_[v].size() > most) {
+        most = shards_[v].size();
+        victim = v;
+      }
+    }
+    if (victim == shards_.size()) return false;
+    *idx = shards_[victim].back();  // the victim's smallest remaining work
+    shards_[victim].pop_back();
+    *stolen = true;
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::deque<index_t>> shards_;
+};
+
+/// The per-problem EvdOptions a batch runs: the caller's configuration with
+/// every intra-problem thread budget forced to 1 (pool-level parallelism
+/// only) and profiling off.
+EvdOptions per_problem_options(const BatchOptions& opts) {
+  EvdOptions o;
+  o.vectors = opts.vectors;
+  o.solver = opts.solver;
+  o.tridiag = opts.tridiag;
+  o.tridiag.threads = 1;
+  o.tridiag.bc_threads = 1;
+  o.knobs = opts.knobs;
+  o.check_finite = opts.check_finite;
+  o.solver_fallback = opts.solver_fallback;
+  o.profile = false;
+  return o;
+}
+
+}  // namespace
+
+plan::Plan batch_bucket_plan(index_t n, const BatchOptions& opts) {
+  const plan::ProblemShape rep{plan::pow2_bucket(std::max<index_t>(n, 1)),
+                               opts.vectors, 0};
+  plan::PlannerOptions popts;
+  popts.threads = 1;  // the intra-problem budget every batch worker runs at
+  return plan::plan_for(rep, opts.plan, popts);
+}
+
+BatchResult eigh_batched(const std::vector<ConstMatrixView>& problems,
+                         const BatchOptions& opts) {
+  const index_t b_count = static_cast<index_t>(problems.size());
+  BatchResult res;
+  res.problems = b_count;
+  res.results.resize(problems.size());
+  res.status.resize(problems.size());
+  if (b_count == 0) return res;
+
+  WallTimer timer;
+  const int workers = static_cast<int>(std::clamp<index_t>(
+      opts.threads > 0 ? opts.threads : default_threads(), 1,
+      std::min<index_t>(b_count, kMaxThreads)));
+  res.workers = workers;
+
+  obs::Span batch_span("batch");
+  batch_span.attr("problems", b_count);
+  batch_span.attr("workers", workers);
+
+  BatchMetrics& m = BatchMetrics::get();
+  m.problems->inc(b_count);
+
+  // One plan per pow2 shape bucket, resolved up front through the normal
+  // planner / plan-cache path and shared by every problem in the bucket.
+  // Keyed by cache_key (fingerprint + bucket + vectors), the same key the
+  // persistent cache uses.
+  std::map<std::string, plan::Plan> bucket_plans;
+  std::vector<const plan::Plan*> plan_of(problems.size(), nullptr);
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    const index_t n = std::max<index_t>(problems[i].rows, 1);
+    const std::string key =
+        plan::cache_key(plan::ProblemShape{n, opts.vectors, 0});
+    auto it = bucket_plans.find(key);
+    if (it == bucket_plans.end()) {
+      it = bucket_plans.emplace(key, batch_bucket_plan(n, opts)).first;
+      m.plans_resolved->inc();
+    } else {
+      ++res.bucket_plan_hits;
+    }
+    plan_of[i] = &it->second;
+  }
+  res.plans_resolved = static_cast<index_t>(bucket_plans.size());
+  m.bucket_plan_hits->inc(res.bucket_plan_hits);
+  batch_span.attr("buckets", res.plans_resolved);
+
+  // Deal problems round-robin in descending-size order (an LPT prefix):
+  // worker w starts with problems w, w+W, w+2W, ... of the sorted list, so
+  // the initial shares are near-balanced and stealing only has to absorb
+  // the runtime variance.
+  std::vector<index_t> order(problems.size());
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return problems[static_cast<std::size_t>(a)].rows >
+           problems[static_cast<std::size_t>(b)].rows;
+  });
+  std::vector<std::deque<index_t>> shards(static_cast<std::size_t>(workers));
+  for (std::size_t r = 0; r < order.size(); ++r) {
+    shards[r % static_cast<std::size_t>(workers)].push_back(order[r]);
+  }
+  WorkQueue queue(std::move(shards));
+
+  const EvdOptions popt = per_problem_options(opts);
+  std::atomic<long long> steals{0};
+  std::atomic<long long> recovered{0};
+  std::atomic<long long> failed{0};
+
+  // One problem per worker: each slot is written by exactly the worker
+  // that claimed it, and per-problem exceptions stop at the slot.
+  ThreadPool::global().run_concurrent(workers, [&](int w) {
+    ThreadLimit serial(1);  // intra-problem parallel regions run inline
+    index_t i = 0;
+    bool stolen = false;
+    while (queue.pop(w, &i, &stolen)) {
+      if (stolen) steals.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t s = static_cast<std::size_t>(i);
+      obs::Span span("batch.problem");
+      span.attr("index", i);
+      span.attr("n", problems[s].rows);
+      span.attr("worker", w);
+      span.attr("stolen", stolen ? 1 : 0);
+      try {
+        fault::maybe_inject("batch_problem");
+        res.results[s] = eigh(problems[s], popt, *plan_of[s]);
+        res.status[s].ok = true;
+        if (!res.results[s].recovery.empty()) {
+          recovered.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (const Error& err) {
+        res.status[s].ok = false;
+        res.status[s].code = err.code();
+        res.status[s].message = err.what();
+        res.results[s] = EvdResult{};  // no partial state escapes the slot
+        failed.fetch_add(1, std::memory_order_relaxed);
+      } catch (const std::exception& err) {
+        res.status[s].ok = false;
+        res.status[s].code = ErrorCode::kUnknown;
+        res.status[s].message = err.what();
+        res.results[s] = EvdResult{};
+        failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  res.steals = steals.load(std::memory_order_relaxed);
+  res.recovered = recovered.load(std::memory_order_relaxed);
+  res.failed = failed.load(std::memory_order_relaxed);
+  m.steals->inc(res.steals);
+  m.recoveries->inc(res.recovered);
+  m.failures->inc(res.failed);
+  batch_span.attr("steals", res.steals);
+  res.seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace tdg::eig

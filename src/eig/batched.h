@@ -1,0 +1,112 @@
+// Batched small-matrix EVD driver: B independent symmetric eigenproblems,
+// one problem per pool worker.
+//
+// Real eigensolver traffic is dominated by many independent small problems,
+// where per-problem threading and per-problem planning are pure overhead:
+// a parallel_for over a 128x128 trailing update spends more time in queue
+// pushes and condition-variable wakes than in FMAs, and the planner
+// heuristic re-derives the same knob vector for every one of ten thousand
+// identically-shaped inputs. eigh_batched() inverts both decisions:
+//
+//  * Pool-level parallelism. The batch claims W = BatchOptions::threads
+//    pool workers and runs ONE problem per worker with every intra-problem
+//    thread budget forced to 1 (nested parallel regions run inline). The
+//    execution units stay busy across problem boundaries instead of
+//    synchronizing inside each problem — the same inversion the multi-GPU
+//    pipelined-EVD literature applies across devices.
+//  * Work stealing. Problems are dealt round-robin into per-worker queues
+//    in descending-size order (an LPT prefix); a worker that drains its own
+//    queue steals from the back of the fullest remaining one, so
+//    heterogeneous sizes load-balance instead of serializing behind the
+//    worker that drew the big matrices. Steals are counted in
+//    `batch.steals`.
+//  * One plan per shape bucket. The planner (src/plan) is consulted once
+//    per pow2 shape bucket — for the bucket-representative shape, at the
+//    intra-problem thread budget of 1 — and the resulting plan is shared by
+//    every problem in the bucket. A batch of 10k same-sized problems costs
+//    one heuristic (or one measured search) instead of 10k.
+//  * Per-problem fault isolation. A problem that raises a typed tdg::Error
+//    degrades alone: its BatchResult slot records the error code and
+//    message, every other slot completes normally, and the in-problem
+//    solver fallback chain (D&C -> steqr -> bisection) still runs first
+//    when BatchOptions::solver_fallback is set.
+//
+// Determinism: each problem executes serially on exactly one worker, so its
+// result is bitwise identical to a standalone eigh() call with the same
+// options and the same (bucket-shared) plan — which worker ran it, and in
+// what order, cannot matter. batch_bucket_plan() exposes the plan a batch
+// will share so callers (and tests) can reproduce any slot exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "eig/drivers.h"
+#include "plan/plan.h"
+
+namespace tdg::eig {
+
+/// Options for one eigh_batched() call. Trivially copyable/shareable: the
+/// per-problem configuration is derived once and handed to workers by
+/// value.
+struct BatchOptions {
+  /// Compute eigenvectors for every problem in the batch.
+  bool vectors = true;
+  /// How the shared per-bucket plans are produced (src/plan/plan.h).
+  PlanMode plan = PlanMode::kHeuristic;
+  /// Primary tridiagonal solver per problem (fallback chain still applies).
+  TridiagSolver solver = TridiagSolver::kDivideConquer;
+  /// Per-problem pipeline configuration. The thread knobs (`threads`,
+  /// `bc_threads`) are forced to 1 — batch parallelism is pool-level only.
+  TridiagOptions tridiag;
+  /// Consolidated solver / back-transform knobs (plan::Knobs), shared by
+  /// every problem. 0 = auto (filled from the bucket plan).
+  plan::Knobs knobs;
+  /// Per-problem NaN/Inf screen (a bad input fails its own slot only).
+  bool check_finite = true;
+  /// Per-problem solver fallback chain (EvdResult.recovery).
+  bool solver_fallback = true;
+  /// Pool workers running problems concurrently. 0 = the ambient thread
+  /// budget (TDG_THREADS / hardware); always clamped to [1, min(B, 64)].
+  int threads = 0;
+};
+
+/// Outcome of one slot. `ok` problems have their EvdResult filled; failed
+/// problems carry the typed error that stopped them and an empty result.
+struct BatchProblemStatus {
+  bool ok = false;
+  ErrorCode code = ErrorCode::kUnknown;  // meaningful when !ok
+  std::string message;                   // error text when !ok
+};
+
+/// Results of one batch, slot i corresponding to problems[i].
+struct BatchResult {
+  std::vector<EvdResult> results;          // empty slots where !status.ok
+  std::vector<BatchProblemStatus> status;  // parallel to results
+  index_t problems = 0;        // batch size B
+  int workers = 0;             // pool workers actually used
+  index_t plans_resolved = 0;  // distinct pow2 shape buckets planned
+  index_t bucket_plan_hits = 0;  // problems served by an existing bucket plan
+  index_t steals = 0;          // cross-worker queue steals
+  index_t recovered = 0;       // slots that took an in-problem fallback
+  index_t failed = 0;          // slots whose status is !ok
+  double seconds = 0.0;        // wall time of the whole batch
+
+  bool all_ok() const { return failed == 0; }
+};
+
+/// The plan a batch under `opts` shares for problems of size n: the planner
+/// consulted once for the bucket-representative shape (pow2_bucket(n),
+/// opts.vectors, no subset) at the intra-problem thread budget of 1.
+/// eigh(a, per-problem opts, batch_bucket_plan(n, opts)) reproduces a batch
+/// slot bit for bit.
+plan::Plan batch_bucket_plan(index_t n, const BatchOptions& opts = {});
+
+/// Run B independent symmetric EVDs (lower triangles read). Never throws
+/// for per-problem failures — those are recorded in their BatchResult slot;
+/// only batch-level misuse (e.g. a poisoned pool) propagates.
+BatchResult eigh_batched(const std::vector<ConstMatrixView>& problems,
+                         const BatchOptions& opts = {});
+
+}  // namespace tdg::eig

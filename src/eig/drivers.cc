@@ -22,36 +22,35 @@ namespace {
 
 /// One planner pass for the whole pipeline: resolve the tridiag options,
 /// the back-transform options, and the solver base case against a single
-/// plan so every stage runs the same configuration.
-struct ResolvedEvd {
-  TridiagOptions tridiag;
-  ApplyQOptions applyq;
-  index_t smlsiz = 32;
-  plan::PlanSource source = plan::PlanSource::kHeuristic;
-};
-
-ResolvedEvd resolve_evd(const EvdOptions& opts, index_t n, index_t subset) {
+/// plan so every stage runs the same configuration. `pre` (optional) is a
+/// caller-supplied plan — the batch / pre-resolved paths — which skips the
+/// planner consultation entirely.
+plan::ResolvedPipeline resolve_evd(const EvdOptions& opts, index_t n,
+                                   index_t subset, const plan::Plan* pre) {
   const plan::ProblemShape shape{n, opts.vectors, subset};
+  if (pre != nullptr) {
+    return plan::resolve_and_validate(shape, *pre, opts.tridiag,
+                                      merged_knobs(opts));
+  }
   plan::PlannerOptions popts;
   popts.threads = opts.tridiag.threads;
-  const plan::Plan p = plan::plan_for(shape, opts.plan, popts);
-
-  ResolvedEvd r;
-  r.source = p.source;
-  r.tridiag = plan::resolve(opts.tridiag, n, p);
-  r.tridiag.plan = PlanMode::kManual;  // already resolved
-  r.tridiag.want_factors = opts.vectors;
-  r.applyq.bt_kw = opts.bt_kw;
-  r.applyq.q2_group = opts.q2_group;
-  r.applyq.threads = opts.tridiag.threads;
-  r.applyq = plan::resolve(r.applyq, n, p);
-  r.applyq.plan = PlanMode::kManual;
-  r.smlsiz = std::clamp<index_t>(opts.smlsiz == 0 ? p.smlsiz : opts.smlsiz, 2,
-                                 std::max<index_t>(n, 2));
-  return r;
+  return plan::resolve_and_validate(shape, opts.plan, opts.tridiag,
+                                    merged_knobs(opts), popts);
 }
 
 }  // namespace
+
+plan::Knobs merged_knobs(const EvdOptions& opts) {
+  // Precedence: the new sub-struct, then the deprecated loose fields, then
+  // whatever rides on the tridiag options (resolve_and_validate folds that
+  // last one in itself, but merging here keeps this function the complete
+  // answer for callers).
+  plan::Knobs legacy;
+  legacy.smlsiz = opts.smlsiz;
+  legacy.bt_kw = opts.bt_kw;
+  legacy.q2_group = opts.q2_group;
+  return plan::merged(plan::merged(opts.knobs, legacy), opts.tridiag.knobs);
+}
 
 namespace {
 
@@ -177,7 +176,10 @@ PhaseProfile backtransform_phase(double seconds,
 
 }  // namespace
 
-EvdResult eigh(ConstMatrixView a, const EvdOptions& opts) {
+namespace {
+
+EvdResult eigh_impl(ConstMatrixView a, const EvdOptions& opts,
+                    const plan::Plan* pre) {
   TDG_CHECK(a.rows == a.cols, "eigh: matrix must be square");
   const index_t n = a.rows;
   EvdResult res;
@@ -191,9 +193,9 @@ EvdResult eigh(ConstMatrixView a, const EvdOptions& opts) {
   // merge GEMMs, and the Q2/Q1 back transformations.
   ThreadLimit thread_scope(opts.tridiag.threads);
 
-  ResolvedEvd cfg = resolve_evd(opts, n, /*subset=*/0);
+  plan::ResolvedPipeline cfg = resolve_evd(opts, n, /*subset=*/0, pre);
   cfg.tridiag.check_finite = false;  // screened above; don't rescan
-  res.plan_source = plan::to_string(cfg.source);
+  res.plan_source = plan::to_string(cfg.plan.source);
 
   // Profiling: one shape recorder per phase. The kernels record their ops
   // on the dispatching thread, so scoping the recorder around each phase
@@ -332,8 +334,8 @@ EvdResult eigh(ConstMatrixView a, const EvdOptions& opts) {
   return res;
 }
 
-EvdResult eigh_range(ConstMatrixView a, index_t il, index_t iu,
-                     const EvdOptions& opts) {
+EvdResult eigh_range_impl(ConstMatrixView a, index_t il, index_t iu,
+                          const EvdOptions& opts, const plan::Plan* pre) {
   TDG_CHECK(a.rows == a.cols, "eigh_range: matrix must be square");
   const index_t n = a.rows;
   TDG_CHECK(0 <= il && il <= iu && iu < n, "eigh_range: bad index range");
@@ -345,11 +347,12 @@ EvdResult eigh_range(ConstMatrixView a, index_t il, index_t iu,
 
   ThreadLimit thread_scope(opts.tridiag.threads);
 
-  ResolvedEvd cfg = resolve_evd(opts, n, /*subset=*/iu - il + 1);
+  plan::ResolvedPipeline cfg =
+      resolve_evd(opts, n, /*subset=*/iu - il + 1, pre);
   cfg.tridiag.check_finite = false;  // screened above; don't rescan
 
   EvdResult res;
-  res.plan_source = plan::to_string(cfg.source);
+  res.plan_source = plan::to_string(cfg.plan.source);
   WallTimer t;
   TridiagResult tri = tridiagonalize(a, cfg.tridiag);
   res.seconds_tridiag = t.seconds();
@@ -370,6 +373,27 @@ EvdResult eigh_range(ConstMatrixView a, index_t il, index_t iu,
     res.seconds_solver = t.seconds();
   }
   return res;
+}
+
+}  // namespace
+
+EvdResult eigh(ConstMatrixView a, const EvdOptions& opts) {
+  return eigh_impl(a, opts, nullptr);
+}
+
+EvdResult eigh(ConstMatrixView a, const EvdOptions& opts,
+               const plan::Plan& plan) {
+  return eigh_impl(a, opts, &plan);
+}
+
+EvdResult eigh_range(ConstMatrixView a, index_t il, index_t iu,
+                     const EvdOptions& opts) {
+  return eigh_range_impl(a, il, iu, opts, nullptr);
+}
+
+EvdResult eigh_range(ConstMatrixView a, index_t il, index_t iu,
+                     const EvdOptions& opts, const plan::Plan& plan) {
+  return eigh_range_impl(a, il, iu, opts, &plan);
 }
 
 }  // namespace tdg::eig

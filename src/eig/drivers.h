@@ -12,6 +12,7 @@
 
 #include "core/tridiag.h"
 #include "la/matrix.h"
+#include "plan/plan.h"
 
 namespace tdg::eig {
 
@@ -28,6 +29,14 @@ struct EvdOptions {
   PlanMode plan = PlanMode::kHeuristic;
   TridiagOptions tridiag;  // which tridiagonalization pipeline to run
   TridiagSolver solver = TridiagSolver::kDivideConquer;
+  /// Consolidated solver / back-transform knobs (0 = auto, filled from the
+  /// resolved plan). The preferred spelling; merged once at driver entry by
+  /// plan::resolve_and_validate().
+  plan::Knobs knobs;
+  /// DEPRECATED aliases for knobs.{smlsiz, bt_kw, q2_group} (kept one
+  /// release; see README migration note). Assignments still compile and
+  /// forward into the merged knob vector; an explicitly-set `knobs` field
+  /// wins when both are set.
   index_t smlsiz = 0;    // D&C base-case size (0 = auto)
   index_t bt_kw = 0;     // stage-1 back-transform group width (0 = auto)
   index_t q2_group = 0;  // stage-2 reflector-chunk size (0 = auto)
@@ -90,8 +99,21 @@ struct EvdResult {
   EvdProfile profile;
 };
 
+/// The merged knob sub-struct for an EvdOptions: the new `knobs` field with
+/// the deprecated loose fields (then tridiag.knobs) folded in underneath.
+/// Drivers call this once at entry; exposed so callers can inspect what a
+/// given options object will actually request.
+plan::Knobs merged_knobs(const EvdOptions& opts);
+
 /// Full symmetric EVD of `a` (lower triangle read): A = V diag(w) V^T.
 EvdResult eigh(ConstMatrixView a, const EvdOptions& opts = {});
+
+/// Same, against a pre-resolved plan: no planner consultation happens —
+/// every auto knob is filled from `plan` (explicit knobs still win) and the
+/// result is bitwise identical to what a batch worker sharing `plan`
+/// produces for the same input. opts.plan (the PlanMode) is ignored.
+EvdResult eigh(ConstMatrixView a, const EvdOptions& opts,
+               const plan::Plan& plan);
 
 /// Subset EVD: eigenpairs with 0-based ascending indices [il, iu]
 /// (inclusive). Eigenvalues come from Sturm bisection, eigenvectors from
@@ -99,5 +121,11 @@ EvdResult eigh(ConstMatrixView a, const EvdOptions& opts = {});
 /// back transformations only touch iu-il+1 columns instead of n.
 EvdResult eigh_range(ConstMatrixView a, index_t il, index_t iu,
                      const EvdOptions& opts = {});
+
+/// Subset EVD against a pre-resolved plan. Subset solves issued inside a
+/// batch (or any caller that already holds a plan for the shape bucket)
+/// skip the per-call planner pass entirely.
+EvdResult eigh_range(ConstMatrixView a, index_t il, index_t iu,
+                     const EvdOptions& opts, const plan::Plan& plan);
 
 }  // namespace tdg::eig

@@ -127,6 +127,12 @@ Registry& Registry::global() {
     r->counter("plan.cache_save_failures", Gating::kAlways);
     r->counter("plan.cache_lock_failures", Gating::kAlways);
     r->counter("fault.fires", Gating::kAlways);
+    r->counter("batch.problems", Gating::kAlways);
+    r->counter("batch.steals", Gating::kAlways);
+    r->counter("batch.plans_resolved", Gating::kAlways);
+    r->counter("batch.bucket_plan_hits", Gating::kAlways);
+    r->counter("batch.recoveries", Gating::kAlways);
+    r->counter("batch.failures", Gating::kAlways);
     return r;
   }();
   return *reg;

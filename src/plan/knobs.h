@@ -1,0 +1,49 @@
+// plan::Knobs — the consolidated solver / back-transform knob sub-struct.
+//
+// Before this header the three pipeline knobs that live downstream of the
+// tridiagonalization (the D&C base-case size and the two back-transform
+// group widths) were duplicated as loose fields on every option struct that
+// touched them. They are now one value type shared by EvdOptions,
+// TridiagOptions, ApplyQOptions, and BatchOptions, resolved exactly once at
+// driver entry by plan::resolve_and_validate() (src/plan/plan.h). The old
+// loose fields remain as deprecated aliases for one release: assigning them
+// still compiles and forwards into the merged knob vector, with an
+// explicitly-set Knobs field winning on conflict.
+//
+// This header is dependency-free on purpose: core/tridiag.h and
+// plan/plan.h both include it without creating a cycle, and the struct is
+// trivially copyable so a batch driver can hand one options object to every
+// pool worker by value.
+#pragma once
+
+#include <cstdint>
+
+namespace tdg {
+using index_t = std::int64_t;
+}  // namespace tdg
+
+namespace tdg::plan {
+
+/// Solver / back-transform knobs, zero = "auto" (filled from the resolved
+/// plan). Trivially copyable; safe to share across batch workers by value.
+struct Knobs {
+  /// Divide & conquer base-case size (subproblems at or below it use steqr).
+  index_t smlsiz = 0;
+  /// Stage-1 (band-reduction) blocked back-transform group width.
+  index_t bt_kw = 0;
+  /// Stage-2 (bulge-chase) reflector-chunk size for the blocked Q2 apply.
+  index_t q2_group = 0;
+};
+
+/// Field-wise merge: every knob takes `primary` when set (non-zero), else
+/// `fallback`. Used at driver entry to fold the deprecated loose fields
+/// under the new sub-struct — opts.knobs wins over opts.smlsiz et al.
+inline Knobs merged(const Knobs& primary, const Knobs& fallback) {
+  Knobs k = primary;
+  if (k.smlsiz == 0) k.smlsiz = fallback.smlsiz;
+  if (k.bt_kw == 0) k.bt_kw = fallback.bt_kw;
+  if (k.q2_group == 0) k.q2_group = fallback.q2_group;
+  return k;
+}
+
+}  // namespace tdg::plan

@@ -30,6 +30,7 @@
 #include <string>
 
 #include "core/tridiag.h"
+#include "plan/knobs.h"
 
 namespace tdg::plan {
 
@@ -112,5 +113,36 @@ ApplyQOptions resolve(const ApplyQOptions& opts, index_t n, const Plan& plan);
 /// misbehaving downstream.
 TridiagOptions validated(const TridiagOptions& opts, index_t n);
 ApplyQOptions validated(const ApplyQOptions& opts, index_t n);
+
+// ---- whole-pipeline resolution (the single driver entry point) ------------
+
+/// Everything a full-EVD driver needs to run one problem: the resolved plan
+/// (for provenance and sharing) plus the validated per-stage option sets,
+/// all with plan = kManual so no stage re-plans downstream.
+struct ResolvedPipeline {
+  Plan plan;               // the knob vector the stages were resolved from
+  TridiagOptions tridiag;  // resolved + validated, plan = kManual
+  ApplyQOptions applyq;    // resolved + validated, plan = kManual
+  index_t smlsiz = 32;     // resolved D&C base-case size
+};
+
+/// The one resolve-and-validate entry point shared by eigh / eigh_range /
+/// eigh_batched: run the planner for `shape` under `mode`, then resolve the
+/// tridiag options, the back-transform options, and the solver base case
+/// against that single plan. `knobs` is the caller's merged knob sub-struct
+/// (explicit values win over the plan); `tridiag.knobs` is folded in at the
+/// lowest precedence.
+ResolvedPipeline resolve_and_validate(const ProblemShape& shape, PlanMode mode,
+                                      const TridiagOptions& tridiag,
+                                      const Knobs& knobs,
+                                      const PlannerOptions& popts = {});
+
+/// Same, against a pre-resolved plan (no planner consultation): the path
+/// the batch driver takes so every problem in a shape bucket shares one
+/// plan, and the path the eigh(..., plan) overloads expose publicly.
+ResolvedPipeline resolve_and_validate(const ProblemShape& shape,
+                                      const Plan& plan,
+                                      const TridiagOptions& tridiag,
+                                      const Knobs& knobs);
 
 }  // namespace tdg::plan

@@ -60,12 +60,6 @@ class FileLock {
   bool acquired_ = false;
 };
 
-index_t pow2_bucket(index_t n) {
-  index_t p = 1;
-  while (p < n) p *= 2;
-  return p;
-}
-
 const char* method_name(TridiagMethod m) {
   switch (m) {
     case TridiagMethod::kDirect: return "direct";
@@ -201,6 +195,12 @@ PlanCache::PlanCache(UseRegistryTag) {
       r.counter("plan.cache_save_failures", obs::Gating::kAlways);
   c_.lock_failures =
       r.counter("plan.cache_lock_failures", obs::Gating::kAlways);
+}
+
+index_t pow2_bucket(index_t n) {
+  index_t p = 1;
+  while (p < n) p *= 2;
+  return p;
 }
 
 std::string cache_key(const ProblemShape& shape) {

@@ -63,6 +63,10 @@ struct ShapeStats {
   long long measure_runs = 0;
 };
 
+/// Smallest power of two >= n — the shape-bucketing function shared by the
+/// cache key and the batch driver's plan-per-bucket sharing.
+index_t pow2_bucket(index_t n);
+
 /// Cache key for a shape: fingerprint + n bucketed to the next power of two
 /// (plans are shape-bucketed, not exact-size) + vectors flag + subset bucket.
 std::string cache_key(const ProblemShape& shape);

@@ -351,8 +351,14 @@ TridiagOptions resolve(const TridiagOptions& opts, index_t n,
 
 ApplyQOptions resolve(const ApplyQOptions& opts, index_t n, const Plan& plan) {
   ApplyQOptions o = opts;
-  if (o.bt_kw == 0) o.bt_kw = plan.bt_kw;
-  if (o.q2_group == 0) o.q2_group = plan.q2_group;
+  // The deprecated loose fields forward into the knob sub-struct (knobs
+  // wins when both are set), then the plan fills what is still zero.
+  if (o.knobs.bt_kw == 0) o.knobs.bt_kw = o.bt_kw;
+  if (o.knobs.q2_group == 0) o.knobs.q2_group = o.q2_group;
+  if (o.knobs.bt_kw == 0) o.knobs.bt_kw = plan.bt_kw;
+  if (o.knobs.q2_group == 0) o.knobs.q2_group = plan.q2_group;
+  o.bt_kw = o.knobs.bt_kw;
+  o.q2_group = o.knobs.q2_group;
   return validated(o, n);
 }
 
@@ -383,13 +389,57 @@ ApplyQOptions validated(const ApplyQOptions& opts, index_t n) {
   TDG_CHECK(n >= 1, "plan: problem size must be positive");
   TDG_CHECK(opts.bt_kw >= 0 && opts.q2_group >= 0,
             "plan: negative back-transform group width");
+  TDG_CHECK(opts.knobs.bt_kw >= 0 && opts.knobs.q2_group >= 0,
+            "plan: negative back-transform group width");
   TDG_CHECK(opts.threads >= 0, "plan: negative thread count");
   ApplyQOptions o = opts;
+  if (o.bt_kw == 0) o.bt_kw = o.knobs.bt_kw;
+  if (o.q2_group == 0) o.q2_group = o.knobs.q2_group;
   o.bt_kw = clamp_index(o.bt_kw == 0 ? 256 : o.bt_kw, 1, std::max<index_t>(1, n));
   o.q2_group =
       clamp_index(o.q2_group == 0 ? 64 : o.q2_group, 1, std::max<index_t>(1, n));
+  // Keep the two spellings coherent for downstream readers of either.
+  o.knobs.bt_kw = o.bt_kw;
+  o.knobs.q2_group = o.q2_group;
   o.threads = std::min(o.threads, kMaxThreads);
   return o;
+}
+
+ResolvedPipeline resolve_and_validate(const ProblemShape& shape,
+                                      const Plan& plan,
+                                      const TridiagOptions& tridiag,
+                                      const Knobs& knobs) {
+  const index_t n = std::max<index_t>(shape.n, 1);
+  ResolvedPipeline r;
+  r.plan = plan;
+
+  // Lowest precedence for knobs carried on the tridiag options; the
+  // caller's (already merged) knob struct wins, the plan fills the rest.
+  const Knobs k = merged(knobs, tridiag.knobs);
+
+  r.tridiag = resolve(tridiag, n, plan);
+  r.tridiag.plan = PlanMode::kManual;  // already resolved
+  r.tridiag.want_factors = shape.vectors;
+  r.tridiag.knobs = k;
+
+  r.applyq.knobs = k;
+  r.applyq.threads = tridiag.threads;
+  r.applyq = resolve(r.applyq, n, plan);
+  r.applyq.plan = PlanMode::kManual;
+
+  TDG_CHECK(k.smlsiz >= 0, "plan: negative smlsiz");
+  r.smlsiz = clamp_index(k.smlsiz == 0 ? plan.smlsiz : k.smlsiz, 2,
+                         std::max<index_t>(n, 2));
+  return r;
+}
+
+ResolvedPipeline resolve_and_validate(const ProblemShape& shape, PlanMode mode,
+                                      const TridiagOptions& tridiag,
+                                      const Knobs& knobs,
+                                      const PlannerOptions& popts) {
+  PlannerOptions p = popts;
+  if (p.threads == 0) p.threads = tridiag.threads;
+  return resolve_and_validate(shape, plan_for(shape, mode, p), tridiag, knobs);
 }
 
 }  // namespace tdg::plan

@@ -1,0 +1,420 @@
+// Tests for the batched small-matrix EVD driver (src/eig/batched.h):
+// bitwise equivalence with standalone eigh under a shared bucket plan,
+// heterogeneous-size load balancing through the work-stealing queue,
+// per-problem fault isolation, plan-per-bucket accounting via the obs
+// counters, and the consolidated plan::Knobs options plumbing (including
+// the deprecated loose-field aliases and the pre-resolved-plan overloads
+// of eigh / eigh_range).
+//
+// gtest_discover_tests runs each case in its own process, so reading the
+// always-on batch.* counters by delta within one case is race-free.
+
+#include <gtest/gtest.h>
+
+#include <tdg/eig.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "la/blas.h"
+#include "la/generate.h"
+#include "obs/metrics.h"
+#include "plan/plan_cache.h"
+
+namespace tdg {
+namespace {
+
+double evd_residual(ConstMatrixView a, ConstMatrixView v,
+                    const std::vector<double>& w) {
+  Matrix av(a.rows, v.cols);
+  la::gemm(Trans::kNo, Trans::kNo, 1.0, a, v, 0.0, av.view());
+  double m = 0.0;
+  for (index_t j = 0; j < v.cols; ++j) {
+    for (index_t i = 0; i < v.rows; ++i) {
+      m = std::max(m, std::abs(av(i, j) - v(i, j) * w[static_cast<size_t>(j)]));
+    }
+  }
+  return m;
+}
+
+std::vector<Matrix> make_problems(const std::vector<index_t>& sizes,
+                                  std::uint64_t seed) {
+  std::vector<Matrix> mats;
+  mats.reserve(sizes.size());
+  Rng rng(seed);
+  for (const index_t n : sizes) mats.push_back(random_symmetric(n, rng));
+  return mats;
+}
+
+std::vector<ConstMatrixView> views_of(const std::vector<Matrix>& mats) {
+  std::vector<ConstMatrixView> v;
+  v.reserve(mats.size());
+  for (const Matrix& m : mats) v.push_back(m.view());
+  return v;
+}
+
+/// Bitwise comparison of a batch slot against a standalone eigh() run with
+/// the identical per-problem options and the identical bucket plan.
+void expect_bitwise_equal(const eig::EvdResult& batch,
+                          const eig::EvdResult& solo) {
+  ASSERT_EQ(batch.eigenvalues.size(), solo.eigenvalues.size());
+  for (size_t i = 0; i < solo.eigenvalues.size(); ++i) {
+    EXPECT_EQ(batch.eigenvalues[i], solo.eigenvalues[i]) << "eigenvalue " << i;
+  }
+  ASSERT_EQ(batch.eigenvectors.rows(), solo.eigenvectors.rows());
+  ASSERT_EQ(batch.eigenvectors.cols(), solo.eigenvectors.cols());
+  const index_t n = solo.eigenvectors.rows();
+  for (index_t j = 0; j < solo.eigenvectors.cols(); ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      ASSERT_EQ(batch.eigenvectors(i, j), solo.eigenvectors(i, j))
+          << "eigenvector entry (" << i << ", " << j << ")";
+    }
+  }
+}
+
+/// The standalone options that reproduce a batch slot: intra-problem thread
+/// budgets of 1, everything else as the batch configures it.
+eig::EvdOptions solo_options(const eig::BatchOptions& bopts) {
+  eig::EvdOptions o;
+  o.vectors = bopts.vectors;
+  o.solver = bopts.solver;
+  o.tridiag = bopts.tridiag;
+  o.tridiag.threads = 1;
+  o.tridiag.bc_threads = 1;
+  o.knobs = bopts.knobs;
+  o.check_finite = bopts.check_finite;
+  o.solver_fallback = bopts.solver_fallback;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise equivalence with standalone eigh.
+
+TEST(Batched, BitwiseMatchesStandaloneEigh) {
+  const std::vector<index_t> sizes{64, 96, 128, 200, 256, 64, 96, 128};
+  const std::vector<Matrix> mats = make_problems(sizes, 7001);
+  const std::vector<ConstMatrixView> views = views_of(mats);
+
+  eig::BatchOptions bopts;
+  bopts.threads = 4;
+  const eig::BatchResult batch = eig::eigh_batched(views, bopts);
+
+  ASSERT_TRUE(batch.all_ok());
+  ASSERT_EQ(batch.problems, static_cast<index_t>(sizes.size()));
+  const eig::EvdOptions sopts = solo_options(bopts);
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const plan::Plan p = eig::batch_bucket_plan(sizes[i], bopts);
+    const eig::EvdResult solo = eig::eigh(views[i], sopts, p);
+    expect_bitwise_equal(batch.results[i], solo);
+  }
+}
+
+TEST(Batched, ResultsAreCorrectDecompositions) {
+  const std::vector<index_t> sizes{40, 64, 100, 128, 160, 250};
+  const std::vector<Matrix> mats = make_problems(sizes, 7002);
+  eig::BatchOptions bopts;
+  bopts.threads = 3;
+  const eig::BatchResult batch = eig::eigh_batched(views_of(mats), bopts);
+
+  ASSERT_TRUE(batch.all_ok());
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const eig::EvdResult& r = batch.results[i];
+    ASSERT_EQ(r.eigenvalues.size(), static_cast<size_t>(sizes[i]));
+    EXPECT_LT(evd_residual(mats[i].view(), r.eigenvectors.view(),
+                           r.eigenvalues),
+              1e-10 * static_cast<double>(sizes[i]));
+    EXPECT_LT(orthogonality_error(r.eigenvectors.view()), 1e-11 * sizes[i]);
+  }
+}
+
+TEST(Batched, ValuesOnlyAndEmptyAndDegenerate) {
+  // vectors = false, a 1x1 problem, and an empty batch all behave.
+  std::vector<Matrix> mats = make_problems({1, 48, 2}, 7003);
+  eig::BatchOptions bopts;
+  bopts.vectors = false;
+  const eig::BatchResult batch = eig::eigh_batched(views_of(mats), bopts);
+  ASSERT_TRUE(batch.all_ok());
+  EXPECT_EQ(batch.results[0].eigenvalues.size(), 1u);
+  EXPECT_EQ(batch.results[1].eigenvalues.size(), 48u);
+  EXPECT_EQ(batch.results[2].eigenvalues.size(), 2u);
+  EXPECT_EQ(batch.results[1].eigenvectors.rows(), 0);
+
+  const eig::BatchResult empty = eig::eigh_batched({}, bopts);
+  EXPECT_EQ(empty.problems, 0);
+  EXPECT_TRUE(empty.all_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Load balance over heterogeneous sizes.
+
+TEST(Batched, HeterogeneousSizesAllComplete) {
+  // A few big problems plus a long tail of small ones: the descending-size
+  // deal plus stealing must finish everything regardless of worker count.
+  std::vector<index_t> sizes{256, 240, 224};
+  for (int i = 0; i < 21; ++i) sizes.push_back(32 + 8 * (i % 5));
+  const std::vector<Matrix> mats = make_problems(sizes, 7004);
+
+  for (const int workers : {1, 2, 5, 8}) {
+    eig::BatchOptions bopts;
+    bopts.threads = workers;
+    const eig::BatchResult batch = eig::eigh_batched(views_of(mats), bopts);
+    ASSERT_TRUE(batch.all_ok()) << "workers=" << workers;
+    EXPECT_EQ(batch.workers, workers);
+    EXPECT_EQ(batch.problems, static_cast<index_t>(sizes.size()));
+    for (size_t i = 0; i < sizes.size(); ++i) {
+      EXPECT_LT(evd_residual(mats[i].view(),
+                             batch.results[i].eigenvectors.view(),
+                             batch.results[i].eigenvalues),
+                1e-10 * static_cast<double>(sizes[i]));
+    }
+  }
+}
+
+TEST(Batched, WorkerCountClampsToBatchSize) {
+  const std::vector<Matrix> mats = make_problems({48, 64}, 7005);
+  eig::BatchOptions bopts;
+  bopts.threads = 16;  // only 2 problems: no point in 16 workers
+  const eig::BatchResult batch = eig::eigh_batched(views_of(mats), bopts);
+  EXPECT_EQ(batch.workers, 2);
+  EXPECT_TRUE(batch.all_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Plan-per-bucket accounting (batch.* obs counters; always-on gating).
+
+TEST(Batched, OnePlanPerShapeBucket) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter* resolved =
+      reg.counter("batch.plans_resolved", obs::Gating::kAlways);
+  obs::Counter* hits =
+      reg.counter("batch.bucket_plan_hits", obs::Gating::kAlways);
+  obs::Counter* problems = reg.counter("batch.problems", obs::Gating::kAlways);
+  const long long resolved0 = resolved->value();
+  const long long hits0 = hits->value();
+  const long long problems0 = problems->value();
+
+  // 12 problems, 3 pow2 buckets: {33..64} -> 64, {65..128} -> 128,
+  // {129..256} -> 256.
+  const std::vector<index_t> sizes{40, 48, 64, 80, 96, 128, 130,
+                                   160, 200, 256, 33, 65};
+  const std::vector<Matrix> mats = make_problems(sizes, 7006);
+  eig::BatchOptions bopts;
+  bopts.threads = 4;
+  const eig::BatchResult batch = eig::eigh_batched(views_of(mats), bopts);
+
+  ASSERT_TRUE(batch.all_ok());
+  EXPECT_EQ(batch.plans_resolved, 3);
+  EXPECT_EQ(batch.bucket_plan_hits,
+            static_cast<index_t>(sizes.size()) - 3);
+  EXPECT_EQ(resolved->value() - resolved0, 3);
+  EXPECT_EQ(hits->value() - hits0, static_cast<long long>(sizes.size()) - 3);
+  EXPECT_EQ(problems->value() - problems0,
+            static_cast<long long>(sizes.size()));
+
+  // Same-bucket problems share one plan: their provenance strings agree.
+  EXPECT_EQ(batch.results[0].plan_source, batch.results[1].plan_source);
+}
+
+TEST(Batched, MeasureModeConsultsPersistentCacheOncePerBucket) {
+  // kMeasure: the empirical search runs once per bucket, not per problem.
+  plan::PlanCache::global().clear();
+  plan::PlanCache::global().reset_stats();
+  obs::Counter* runs = obs::Registry::global().counter(
+      "plan.measure_runs", obs::Gating::kAlways);
+  const long long runs0 = runs->value();
+
+  const std::vector<index_t> sizes{48, 48, 48, 48, 48, 48};
+  const std::vector<Matrix> mats = make_problems(sizes, 7007);
+  eig::BatchOptions bopts;
+  bopts.plan = PlanMode::kMeasure;
+  bopts.threads = 2;
+  const eig::BatchResult batch = eig::eigh_batched(views_of(mats), bopts);
+
+  ASSERT_TRUE(batch.all_ok());
+  EXPECT_EQ(batch.plans_resolved, 1);
+  EXPECT_EQ(runs->value() - runs0, 1);
+  for (const eig::EvdResult& r : batch.results) {
+    EXPECT_EQ(r.plan_source, "measured");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault isolation: one poisoned problem, the rest of the batch intact.
+
+TEST(Batched, InjectedFaultFailsOneSlotOnly) {
+  const std::vector<index_t> sizes{64, 64, 64, 64, 64, 64};
+  const std::vector<Matrix> mats = make_problems(sizes, 7008);
+
+  // One worker makes the claim order deterministic (the dealt order), so
+  // the first problem started is slot 0 (all sizes equal -> stable sort
+  // keeps input order) and the armed site fires exactly there.
+  eig::BatchOptions bopts;
+  bopts.threads = 1;
+  fault::Scoped armed("batch_problem", /*trigger=*/1, /*fires=*/1);
+  const eig::BatchResult batch = eig::eigh_batched(views_of(mats), bopts);
+
+  EXPECT_EQ(batch.failed, 1);
+  EXPECT_FALSE(batch.status[0].ok);
+  EXPECT_EQ(batch.status[0].code, ErrorCode::kFaultInjected);
+  EXPECT_TRUE(batch.results[0].eigenvalues.empty());
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    ASSERT_TRUE(batch.status[i].ok) << "slot " << i;
+    EXPECT_LT(evd_residual(mats[i].view(),
+                           batch.results[i].eigenvectors.view(),
+                           batch.results[i].eigenvalues),
+              1e-10 * 64.0);
+  }
+}
+
+TEST(Batched, BadInputFailsItsSlotOnly) {
+  std::vector<Matrix> mats = make_problems({48, 48, 48}, 7009);
+  mats[1](10, 3) = std::nan("");
+  mats[1](3, 10) = std::nan("");
+  eig::BatchOptions bopts;
+  bopts.threads = 2;
+  obs::Counter* failures =
+      obs::Registry::global().counter("batch.failures", obs::Gating::kAlways);
+  const long long failures0 = failures->value();
+  const eig::BatchResult batch = eig::eigh_batched(views_of(mats), bopts);
+
+  EXPECT_EQ(batch.failed, 1);
+  EXPECT_TRUE(batch.status[0].ok);
+  EXPECT_FALSE(batch.status[1].ok);
+  EXPECT_EQ(batch.status[1].code, ErrorCode::kInvalidInput);
+  EXPECT_TRUE(batch.status[2].ok);
+  EXPECT_EQ(failures->value() - failures0, 1);
+}
+
+TEST(Batched, SolverFaultRecoversInsideItsSlot) {
+  // A forced steqr non-convergence inside one problem takes the in-problem
+  // fallback chain; the slot still succeeds and the recovery is counted.
+  const std::vector<index_t> sizes{48, 48, 48, 48};
+  const std::vector<Matrix> mats = make_problems(sizes, 7010);
+  eig::BatchOptions bopts;
+  bopts.threads = 1;
+  bopts.solver = eig::TridiagSolver::kImplicitQl;
+  fault::Scoped armed("steqr_noconv", /*trigger=*/1, /*fires=*/1);
+  const eig::BatchResult batch = eig::eigh_batched(views_of(mats), bopts);
+
+  ASSERT_TRUE(batch.all_ok());
+  EXPECT_EQ(batch.recovered, 1);
+  index_t with_recovery = 0;
+  for (const eig::EvdResult& r : batch.results) {
+    if (!r.recovery.empty()) ++with_recovery;
+  }
+  EXPECT_EQ(with_recovery, 1);
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_LT(evd_residual(mats[i].view(),
+                           batch.results[i].eigenvectors.view(),
+                           batch.results[i].eigenvalues),
+              1e-9 * 48.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Consolidated knob plumbing (plan::Knobs + deprecated aliases).
+
+TEST(Knobs, DeprecatedFieldsForwardAndNewStructWins) {
+  const index_t n = 96;
+  Rng rng(7011);
+  const Matrix a = random_symmetric(n, rng);
+
+  // Old spelling and new spelling of the same configuration agree bitwise.
+  eig::EvdOptions oldstyle;
+  oldstyle.smlsiz = 16;
+  oldstyle.bt_kw = 64;
+  oldstyle.q2_group = 32;
+  eig::EvdOptions newstyle;
+  newstyle.knobs.smlsiz = 16;
+  newstyle.knobs.bt_kw = 64;
+  newstyle.knobs.q2_group = 32;
+  expect_bitwise_equal(eig::eigh(a.view(), oldstyle),
+                       eig::eigh(a.view(), newstyle));
+
+  // merged_knobs: the new sub-struct wins over the deprecated aliases.
+  eig::EvdOptions both = oldstyle;
+  both.knobs.smlsiz = 24;
+  const plan::Knobs merged = eig::merged_knobs(both);
+  EXPECT_EQ(merged.smlsiz, 24);
+  EXPECT_EQ(merged.bt_kw, 64);
+  EXPECT_EQ(merged.q2_group, 32);
+
+  // Knobs riding on TridiagOptions sit at the lowest precedence.
+  eig::EvdOptions viatri;
+  viatri.tridiag.knobs.smlsiz = 16;
+  viatri.tridiag.knobs.bt_kw = 64;
+  viatri.tridiag.knobs.q2_group = 32;
+  expect_bitwise_equal(eig::eigh(a.view(), viatri),
+                       eig::eigh(a.view(), newstyle));
+}
+
+TEST(Knobs, ApplyQOptionsAliasesForward) {
+  const index_t n = 80;
+  Rng rng(7012);
+  const Matrix a = random_symmetric(n, rng);
+  TridiagOptions topts;
+  topts.threads = 1;
+  const TridiagResult tri = tridiagonalize(a.view(), topts);
+
+  Matrix c_old = Matrix::identity(n);
+  Matrix c_new = Matrix::identity(n);
+  ApplyQOptions oldstyle;
+  oldstyle.bt_kw = 48;
+  oldstyle.q2_group = 16;
+  ApplyQOptions newstyle;
+  newstyle.knobs.bt_kw = 48;
+  newstyle.knobs.q2_group = 16;
+  apply_q(tri, c_old.view(), oldstyle);
+  apply_q(tri, c_new.view(), newstyle);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      ASSERT_EQ(c_old(i, j), c_new(i, j));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-resolved plan overloads (eigh / eigh_range).
+
+TEST(PlanOverloads, EighRangeWithSharedPlanMatchesPerCallPlanning) {
+  const index_t n = 128;
+  Rng rng(7013);
+  const Matrix a = random_symmetric(n, rng);
+  eig::EvdOptions opts;
+  opts.tridiag.threads = 1;
+
+  // The per-call planner path and the pre-resolved path resolve the same
+  // shape to the same plan, so the results must agree bitwise.
+  const plan::ProblemShape shape{n, true, 8};
+  plan::PlannerOptions popts;
+  popts.threads = 1;
+  const plan::Plan p = plan::plan_for(shape, opts.plan, popts);
+  const eig::EvdResult via_planner = eig::eigh_range(a.view(), 0, 7, opts);
+  const eig::EvdResult via_plan = eig::eigh_range(a.view(), 0, 7, opts, p);
+  ASSERT_EQ(via_planner.eigenvalues.size(), 8u);
+  expect_bitwise_equal(via_planner, via_plan);
+}
+
+TEST(PlanOverloads, PreResolvedPlanSkipsPlannerProvenance) {
+  const index_t n = 64;
+  Rng rng(7014);
+  const Matrix a = random_symmetric(n, rng);
+  plan::Plan p = plan::heuristic_plan({n, true, 0}, /*threads=*/1);
+  p.source = plan::PlanSource::kCache;  // pretend it came from the cache
+  eig::EvdOptions opts;
+  opts.tridiag.threads = 1;
+  const eig::EvdResult res = eig::eigh(a.view(), opts, p);
+  // The result records the supplied plan's provenance, proving no fresh
+  // planner pass overwrote it.
+  EXPECT_EQ(res.plan_source, "cache");
+  EXPECT_LT(evd_residual(a.view(), res.eigenvectors.view(), res.eigenvalues),
+            1e-10 * static_cast<double>(n));
+}
+
+}  // namespace
+}  // namespace tdg

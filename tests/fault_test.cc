@@ -17,6 +17,7 @@
 #include "bc/bulge_chase.h"
 #include "bc/bulge_chase_parallel.h"
 #include "common/fault.h"
+#include "eig/batched.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "eig/drivers.h"
@@ -591,6 +592,44 @@ TEST(FaultEnv, NoHangUnderInjection) {
   }
   std::remove(path.c_str());
   std::remove((path + ".lock").c_str());
+}
+
+// Batched driver under environment injection (the "batch_problem:N" rows of
+// the CI fault matrix, plus every in-problem site): the batch call itself
+// never throws or hangs — each slot either succeeds or carries a typed
+// error, and the two tallies cover the batch exactly.
+TEST(FaultEnv, BatchedIsolatesInjectedFailures) {
+  const std::vector<index_t> sizes{96, 64, 48, 80, 64, 48};
+  std::vector<Matrix> mats;
+  Rng rng(19);
+  for (const index_t n : sizes) mats.push_back(random_symmetric(n, rng));
+  std::vector<ConstMatrixView> views;
+  for (const Matrix& m : mats) views.push_back(m.view());
+
+  eig::BatchOptions opts;
+  opts.threads = 4;
+  const eig::BatchResult res = eig::eigh_batched(views, opts);
+
+  ASSERT_EQ(res.problems, static_cast<index_t>(sizes.size()));
+  index_t ok = 0, failed = 0;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    if (res.status[i].ok) {
+      ++ok;
+      EXPECT_LT(evd_residual(mats[i].view(),
+                             res.results[i].eigenvectors.view(),
+                             res.results[i].eigenvalues),
+                1e-9 * static_cast<double>(sizes[i]));
+    } else {
+      ++failed;
+      EXPECT_NE(res.status[i].code, ErrorCode::kUnknown);
+      EXPECT_FALSE(res.status[i].message.empty());
+      std::printf("slot %zu failed as %s: %s\n", i,
+                  to_string(res.status[i].code),
+                  res.status[i].message.c_str());
+    }
+  }
+  EXPECT_EQ(failed, res.failed);
+  EXPECT_EQ(ok + failed, res.problems);
 }
 
 }  // namespace
