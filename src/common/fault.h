@@ -1,7 +1,8 @@
 // Deterministic fault injection — the test harness for every recovery path.
 //
 // A fault site is a named point in the library (`"pool_task"`, `"bc_sweep"`,
-// `"steqr_noconv"`, ... — registry in docs/ALGORITHMS.md §11). Arming a site
+// `"steqr_noconv"`, `"taskgraph_node"`, ... — registry in
+// docs/ALGORITHMS.md §11). Arming a site
 // makes it fire on a chosen hit: sites wired through maybe_inject() throw
 // Error(kFaultInjected); sites wired through should_fire() trigger the
 // stage's own natural failure (steqr raises its real kNoConvergence, the

@@ -187,6 +187,14 @@ void ThreadPool::enqueue_locked(std::function<void()> fn) {
   queue_.push_back(std::move(j));
 }
 
+void ThreadPool::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    enqueue_locked(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::parallel_for(index_t begin, index_t end,
                               const std::function<void(index_t)>& fn) {
   const index_t n = end - begin;

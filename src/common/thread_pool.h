@@ -106,6 +106,12 @@ class ThreadPool {
   /// forever on a dead peer.
   void run_concurrent(int copies, const std::function<void(int)>& fn);
 
+  /// Fire-and-forget: enqueue one task for any worker, no join. The caller
+  /// owns completion tracking (the task-graph runtime's ready-queue drain);
+  /// the task must not throw — an escaped exception would reach the worker
+  /// loop and std::terminate, so posters wrap bodies in their own capture.
+  void post(std::function<void()> fn);
+
   /// The process-wide pool used by the BLAS-3 engine and the bulge chase.
   static ThreadPool& global();
 

@@ -56,12 +56,14 @@ TridiagResult tridiag_two_stage(ConstMatrixView a,
     bo.k = std::max(b, (opts.k / b) * b);
     bo.use_square_syr2k = opts.use_square_syr2k;
     bo.threads = opts.threads;
+    bo.lookahead = std::max<index_t>(0, opts.knobs.lookahead);
     r.k = bo.k;
     r.stage1 = sbr::dbbr(work.view(), bo);
   } else {
     sbr::BandReductionOptions bo;
     bo.use_square_syr2k = opts.use_square_syr2k;
     bo.threads = opts.threads;
+    bo.lookahead = std::max<index_t>(0, opts.knobs.lookahead);
     r.stage1 = sbr::sy2sb(work.view(), b, bo);
   }
   r.seconds_stage1 = t.seconds();

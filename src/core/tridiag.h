@@ -63,12 +63,14 @@ struct TridiagOptions {
   /// Error(kInvalidInput) carrying the first bad coordinate. One cheap
   /// O(n^2/2) read pass; set false to skip on pre-validated inputs.
   bool check_finite = true;
-  /// Downstream (solver / back-transform) knobs carried alongside the
-  /// tridiagonalization so one options object configures a full EVD
-  /// pipeline. tridiagonalize() itself never reads them; the eigh* drivers
-  /// fold them into the merged knob vector at plan::resolve_and_validate()
-  /// (lowest precedence, below EvdOptions::knobs and the deprecated loose
-  /// fields).
+  /// Consolidated knob sub-struct carried alongside the tridiagonalization
+  /// so one options object configures a full EVD pipeline. The
+  /// tridiagonalization itself reads only knobs.lookahead (the stage-1
+  /// schedule: 0 = auto, -1 = force barrier, 1 = look-ahead DAG —
+  /// bitwise-neutral either way); the solver / back-transform knobs pass
+  /// through untouched, folded into the merged knob vector by the eigh*
+  /// drivers at plan::resolve_and_validate() (lowest precedence, below
+  /// EvdOptions::knobs and the deprecated loose fields).
   plan::Knobs knobs;
 };
 

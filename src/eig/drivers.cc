@@ -195,7 +195,7 @@ EvdResult eigh_impl(ConstMatrixView a, const EvdOptions& opts,
 
   plan::ResolvedPipeline cfg = resolve_evd(opts, n, /*subset=*/0, pre);
   cfg.tridiag.check_finite = false;  // screened above; don't rescan
-  res.plan_source = plan::to_string(cfg.plan.source);
+  res.plan_source = plan::source_string(cfg.plan);
 
   // Profiling: one shape recorder per phase. The kernels record their ops
   // on the dispatching thread, so scoping the recorder around each phase
@@ -352,7 +352,7 @@ EvdResult eigh_range_impl(ConstMatrixView a, index_t il, index_t iu,
   cfg.tridiag.check_finite = false;  // screened above; don't rescan
 
   EvdResult res;
-  res.plan_source = plan::to_string(cfg.plan.source);
+  res.plan_source = plan::source_string(cfg.plan);
   WallTimer t;
   TridiagResult tri = tridiagonalize(a, cfg.tridiag);
   res.seconds_tridiag = t.seconds();

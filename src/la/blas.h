@@ -69,6 +69,12 @@ void symm_lower(double alpha, ConstMatrixView a, ConstMatrixView b,
 void syr2k_lower_square(double alpha, ConstMatrixView a, ConstMatrixView b,
                         double beta, MatrixView c, index_t block = 0);
 
+/// Effective square tile size the Fig.-7 schedule uses for an n x n update
+/// when the caller passed `block` (0 = default). Exposed so DAG schedulers
+/// (src/common/task_graph.h users) can build the exact same tile grid the
+/// barrier path iterates — the tile grid is part of the bitwise contract.
+index_t syr2k_square_block_size(index_t n, index_t block);
+
 namespace detail {
 
 // Untraced kernel entry points for schedulers that dispatch blocks onto the
@@ -80,6 +86,16 @@ void gemm_notrace(Trans ta, Trans tb, double alpha, ConstMatrixView a,
                   ConstMatrixView b, double beta, MatrixView c);
 void syr2k_lower_notrace(double alpha, ConstMatrixView a, ConstMatrixView b,
                          double beta, MatrixView c);
+
+/// One tile (bi, bj), bi >= bj, of the square-block syr2k schedule over the
+/// full lower-triangle update C += alpha (A B^T + B A^T): the diagonal tile
+/// is a lower-triangle syr2k, an off-diagonal tile two square GEMMs.
+/// Untraced — schedulers record the shape on the dispatching thread. All
+/// tiles write disjoint regions of C, so any execution order (or none of
+/// the barrier structure) gives bitwise-identical results.
+void syr2k_square_tile(double alpha, ConstMatrixView a, ConstMatrixView b,
+                       double beta, MatrixView c, index_t block, index_t bi,
+                       index_t bj);
 
 }  // namespace detail
 

@@ -24,6 +24,39 @@
 
 namespace tdg::la {
 
+index_t syr2k_square_block_size(index_t n, index_t block) {
+  if (block <= 0) block = std::min<index_t>(512, std::max<index_t>(n, 1));
+  return block;
+}
+
+namespace detail {
+
+void syr2k_square_tile(double alpha, ConstMatrixView a, ConstMatrixView b,
+                       double beta, MatrixView c, index_t block, index_t bi,
+                       index_t bj) {
+  const index_t n = c.rows;
+  const index_t j0 = bj * block;
+  const index_t i0 = bi * block;
+  const index_t jb = std::min(block, n - j0);
+  const index_t ib = std::min(block, n - i0);
+  if (bi == bj) {
+    // Diagonal block: lower triangle only.
+    syr2k_lower_notrace(alpha, a.block(i0, 0, ib, a.cols),
+                        b.block(i0, 0, ib, b.cols), beta,
+                        c.block(i0, j0, ib, jb));
+  } else {
+    // Off-diagonal block: two square GEMMs,
+    //   C_blk = beta C_blk + alpha A_i B_j^T + alpha B_i A_j^T.
+    MatrixView cblk = c.block(i0, j0, ib, jb);
+    gemm_notrace(Trans::kNo, Trans::kTrans, alpha, a.block(i0, 0, ib, a.cols),
+                 b.block(j0, 0, jb, b.cols), beta, cblk);
+    gemm_notrace(Trans::kNo, Trans::kTrans, alpha, b.block(i0, 0, ib, b.cols),
+                 a.block(j0, 0, jb, a.cols), 1.0, cblk);
+  }
+}
+
+}  // namespace detail
+
 void syr2k_lower_square(double alpha, ConstMatrixView a, ConstMatrixView b,
                         double beta, MatrixView c, index_t block) {
   TDG_CHECK(c.rows == c.cols, "syr2k_lower_square: C must be square");
@@ -31,7 +64,7 @@ void syr2k_lower_square(double alpha, ConstMatrixView a, ConstMatrixView b,
             "syr2k_lower_square: shape mismatch");
   const index_t n = c.rows;
   if (n == 0) return;
-  if (block <= 0) block = std::min<index_t>(512, n);
+  block = syr2k_square_block_size(n, block);
 
   const index_t nblk = (n + block - 1) / block;
   const index_t k = a.cols;
@@ -52,27 +85,7 @@ void syr2k_lower_square(double alpha, ConstMatrixView a, ConstMatrixView b,
       }
     }
     ThreadPool::global().parallel_for(0, nbd, [&](index_t bj) {
-      const index_t bi = bj + d;
-      const index_t j0 = bj * block;
-      const index_t i0 = bi * block;
-      const index_t jb = std::min(block, n - j0);
-      const index_t ib = std::min(block, n - i0);
-      if (d == 0) {
-        // Diagonal block: lower triangle only.
-        detail::syr2k_lower_notrace(alpha, a.block(i0, 0, ib, a.cols),
-                                    b.block(i0, 0, ib, b.cols), beta,
-                                    c.block(i0, j0, ib, jb));
-      } else {
-        // Off-diagonal block: two square GEMMs,
-        //   C_blk = beta C_blk + alpha A_i B_j^T + alpha B_i A_j^T.
-        MatrixView cblk = c.block(i0, j0, ib, jb);
-        detail::gemm_notrace(Trans::kNo, Trans::kTrans, alpha,
-                             a.block(i0, 0, ib, a.cols),
-                             b.block(j0, 0, jb, b.cols), beta, cblk);
-        detail::gemm_notrace(Trans::kNo, Trans::kTrans, alpha,
-                             b.block(i0, 0, ib, b.cols),
-                             a.block(j0, 0, jb, a.cols), 1.0, cblk);
-      }
+      detail::syr2k_square_tile(alpha, a, b, beta, c, block, bj + d, bj);
     });
   }
 }

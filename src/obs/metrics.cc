@@ -111,6 +111,13 @@ Registry& Registry::global() {
     r->counter("pool.parks");
     r->counter("pool.wakes");
     r->histogram("pool.queue_wait_us");
+    r->counter("taskgraph.runs");
+    r->counter("taskgraph.nodes_run");
+    r->counter("taskgraph.nodes_cancelled");
+    r->counter("taskgraph.busy_us");
+    r->counter("taskgraph.overlap_us");
+    r->counter("taskgraph.idle_us");
+    r->gauge("taskgraph.ready_depth_hwm");
     r->counter("bc.sweeps");
     r->counter("bc.gate_spin_episodes");
     r->counter("bc.stall_near_miss");

@@ -33,6 +33,13 @@ struct Knobs {
   index_t bt_kw = 0;
   /// Stage-2 (bulge-chase) reflector-chunk size for the blocked Q2 apply.
   index_t q2_group = 0;
+  /// Stage-1 look-ahead depth for the band-reduction task DAG
+  /// (src/common/task_graph.h): 0 = auto (filled from the resolved plan),
+  /// -1 = force the barrier schedule, >= 1 = look-ahead (clamped to 1 — the
+  /// in-block panel chain is serial, so only the next block's first panel
+  /// QR can be front-run while preserving bitwise identity). Results are
+  /// bitwise identical at every depth; the knob only changes overlap.
+  index_t lookahead = 0;
 };
 
 /// Field-wise merge: every knob takes `primary` when set (non-zero), else
@@ -43,6 +50,7 @@ inline Knobs merged(const Knobs& primary, const Knobs& fallback) {
   if (k.smlsiz == 0) k.smlsiz = fallback.smlsiz;
   if (k.bt_kw == 0) k.bt_kw = fallback.bt_kw;
   if (k.q2_group == 0) k.q2_group = fallback.q2_group;
+  if (k.lookahead == 0) k.lookahead = fallback.lookahead;
   return k;
 }
 

@@ -65,10 +65,20 @@ struct Plan {
   index_t bt_kw = 256;
   index_t q2_group = 64;
   index_t smlsiz = 32;
+  /// Stage-1 look-ahead depth (0 = barrier schedule, 1 = overlap the next
+  /// block's first panel QR with the trailing syr2k's tiles; see
+  /// plan::Knobs::lookahead for the override convention). Bitwise-neutral.
+  index_t lookahead = 0;
   PlanSource source = PlanSource::kHeuristic;
   /// Proxy wall-clock of the winning config (kMeasured / kCache only).
   double measured_seconds = 0.0;
 };
+
+/// Full provenance string for a resolved plan: the tier name plus any
+/// schedule-changing knobs ("heuristic+la1" when look-ahead is on). This is
+/// what EvdResult.plan_source records, so profiles name the schedule that
+/// actually ran; plain tier names compare equal for barrier plans.
+std::string source_string(const Plan& plan);
 
 struct PlannerOptions {
   /// Thread budget assumed by the heuristics (0 = ambient current_threads()).

@@ -112,6 +112,11 @@ bool entry_from_json(const Value& e, std::string* key, Plan* plan) {
   }
   plan->threads = static_cast<int>(threads);
   plan->bc_threads = static_cast<int>(bc_threads);
+  // Optional (absent in pre-look-ahead cache files, which stay loadable):
+  // default to the barrier schedule.
+  index_t lookahead = 0;
+  get_index(e, "lookahead", &lookahead);
+  plan->lookahead = lookahead;
   const Value* sec = e.find("seconds");
   plan->measured_seconds =
       (sec && sec->kind == Value::kNumber) ? sec->num : 0.0;
@@ -151,12 +156,13 @@ void write_entry(std::FILE* f, const std::string& key, const Plan& p,
       "    {\"key\": \"%s\", \"method\": \"%s\", \"b\": %lld, \"k\": %lld, "
       "\"sytrd_nb\": %lld, \"sweeps\": %lld, \"threads\": %d, "
       "\"bc_threads\": %d, \"bt_kw\": %lld, \"q2_group\": %lld, "
-      "\"smlsiz\": %lld, \"seconds\": %.9g}%s\n",
+      "\"smlsiz\": %lld, \"lookahead\": %lld, \"seconds\": %.9g}%s\n",
       key.c_str(), method_name(p.method), static_cast<long long>(p.b),
       static_cast<long long>(p.k), static_cast<long long>(p.sytrd_nb),
       static_cast<long long>(p.max_parallel_sweeps), p.threads, p.bc_threads,
       static_cast<long long>(p.bt_kw), static_cast<long long>(p.q2_group),
-      static_cast<long long>(p.smlsiz), p.measured_seconds, last ? "" : ",");
+      static_cast<long long>(p.smlsiz), static_cast<long long>(p.lookahead),
+      p.measured_seconds, last ? "" : ",");
 }
 
 void merge_entry(std::map<std::string, Plan>* into, const std::string& key,

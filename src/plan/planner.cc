@@ -183,6 +183,14 @@ const char* to_string(PlanSource source) {
   return "heuristic";
 }
 
+std::string source_string(const Plan& plan) {
+  std::string s = to_string(plan.source);
+  // Only schedule-changing knob values are recorded: barrier plans keep the
+  // plain tier name, so pre-look-ahead provenance strings stay comparable.
+  if (plan.lookahead >= 1) s += "+la" + std::to_string(plan.lookahead);
+  return s;
+}
+
 Plan default_plan(const ProblemShape& shape) {
   Plan p;
   p.source = PlanSource::kDefaults;
@@ -196,6 +204,7 @@ Plan default_plan(const ProblemShape& shape) {
   p.bt_kw = 256;
   p.q2_group = 64;
   p.smlsiz = 32;
+  p.lookahead = 0;  // legacy barrier schedule
   return clamped_for(p, std::max<index_t>(shape.n, 1));
 }
 
@@ -244,6 +253,10 @@ Plan heuristic_plan(const ProblemShape& shape, int threads) {
   p.bt_kw = clamp_index(256, 1, n);
   p.q2_group = clamp_index(64, 1, n);
   p.smlsiz = clamp_index(32, 2, std::max<index_t>(n, 2));
+
+  // Look-ahead needs a worker to run the front-run QR on; with one thread
+  // the DAG degrades to the serial schedule anyway, so don't claim it.
+  p.lookahead = t >= 2 ? 1 : 0;
 
   p = clamped_for(p, n);
   {
@@ -346,6 +359,7 @@ TridiagOptions resolve(const TridiagOptions& opts, index_t n,
   if (o.bc_threads == 0) o.bc_threads = plan.bc_threads;
   if (o.max_parallel_sweeps == 0)
     o.max_parallel_sweeps = plan.max_parallel_sweeps;
+  if (o.knobs.lookahead == 0) o.knobs.lookahead = plan.lookahead;
   return validated(o, n);
 }
 
@@ -370,7 +384,12 @@ TridiagOptions validated(const TridiagOptions& opts, index_t n) {
             "plan: negative max_parallel_sweeps");
   TDG_CHECK(opts.threads >= 0 && opts.bc_threads >= 0,
             "plan: negative thread count");
+  TDG_CHECK(opts.knobs.lookahead >= -1,
+            "plan: lookahead must be -1 (barrier), 0 (auto), or a depth");
   TridiagOptions o = opts;
+  // Only depth 1 carries bitwise-preserving work to front-run; deeper
+  // requests behave as 1 (see sbr::BandReductionOptions::lookahead).
+  o.knobs.lookahead = std::min<index_t>(o.knobs.lookahead, 1);
   o.b = clamp_index(o.b == 0 ? 32 : o.b, 1, std::max<index_t>(1, n - 1));
   // k: a positive multiple of b (the dbbr precondition), no larger than n
   // rounded up to the block grid.
@@ -415,12 +434,18 @@ ResolvedPipeline resolve_and_validate(const ProblemShape& shape,
 
   // Lowest precedence for knobs carried on the tridiag options; the
   // caller's (already merged) knob struct wins, the plan fills the rest.
+  // The merge happens before resolve() so plan-filled knobs that the
+  // tridiagonalization reads (lookahead) resolve against the merged value.
   const Knobs k = merged(knobs, tridiag.knobs);
 
-  r.tridiag = resolve(tridiag, n, plan);
+  TridiagOptions t = tridiag;
+  t.knobs = k;
+  r.tridiag = resolve(t, n, plan);
   r.tridiag.plan = PlanMode::kManual;  // already resolved
   r.tridiag.want_factors = shape.vectors;
-  r.tridiag.knobs = k;
+  // Provenance records the schedule that will actually run: a caller knob
+  // (including -1 = force barrier) overrides what the plan proposed.
+  r.plan.lookahead = std::max<index_t>(0, r.tridiag.knobs.lookahead);
 
   r.applyq.knobs = k;
   r.applyq.threads = tridiag.threads;

@@ -55,6 +55,17 @@ struct BandReductionOptions {
   /// updates (0 = inherit the ambient ThreadLimit / TDG_THREADS default).
   /// Any thread count produces bitwise-identical results.
   int threads = 0;
+  /// Look-ahead depth (0 = the barrier schedule). At depth >= 1 the outer
+  /// loop runs as a task DAG (common/task_graph.h): the trailing syr2k's
+  /// square tiles execute barrier-free, and the next step's first panel QR
+  /// overlaps the tiles it does not read — only the column slice it touches
+  /// orders it. Only depth 1 carries extra bitwise-preserving work to
+  /// front-run (the in-block panel chain is serial through the accumulated
+  /// (Y, Z)), so deeper values behave as 1. Results are bitwise identical
+  /// to the barrier schedule for any depth and thread count. Requires
+  /// use_square_syr2k; falls back to the barrier path under an active op
+  /// trace (pool workers carry no recorder).
+  index_t lookahead = 0;
 };
 
 /// Classic SBR. On return the lower triangle of `a` holds the band matrix

@@ -23,8 +23,10 @@
 #include "eig/drivers.h"
 #include "la/blas.h"
 #include "la/generate.h"
+#include "obs/metrics.h"
 #include "plan/plan.h"
 #include "plan/plan_cache.h"
+#include "sbr/sbr.h"
 
 namespace tdg {
 namespace {
@@ -227,6 +229,51 @@ TEST(ChaseFault, StalledGateHitsSpinDeadline) {
     EXPECT_GE(err.context().index, -1);  // sweep coordinate present
     EXPECT_NE(std::string(err.what()).find("sweep"), std::string::npos);
   }
+}
+
+TEST(TaskGraphFault, FailingNodeCancelsSuccessorsAndSurfacesTypedError) {
+  // Drive the injection through the look-ahead DBBR DAG: the fired node's
+  // successors must be cancelled (counted in the registry metric, not run)
+  // and the graph must drain into a typed rethrow — no hang, no terminate.
+  const index_t n = 96;
+  Rng rng(91);
+  const Matrix a0 = random_symmetric(n, rng);
+
+  obs::Counter* cancelled =
+      obs::Registry::global().counter("taskgraph.nodes_cancelled");
+  const long long cancelled_before = cancelled->value();
+
+  struct MetricsArm {
+    MetricsArm() { obs::arm_metrics(); }
+    ~MetricsArm() { obs::disarm_metrics(); }
+  } metrics;
+  fault::Scoped armed("taskgraph_node", /*trigger=*/3);
+  sbr::BandReductionOptions opts;
+  opts.b = 8;
+  opts.k = 32;
+  opts.threads = 8;
+  opts.lookahead = 1;
+  opts.syr2k_block = 16;
+  Matrix a = a0;
+  try {
+    sbr::dbbr(a.view(), opts);
+    FAIL() << "expected injected fault";
+  } catch (const Error& err) {
+    EXPECT_EQ(err.code(), ErrorCode::kFaultInjected);
+  }
+  // A DBBR graph at this shape has far more than 3 nodes, so poisoning the
+  // third leaves successors to cancel.
+  EXPECT_GT(cancelled->value(), cancelled_before);
+
+  // The library is healthy afterwards and the clean rerun is bitwise equal
+  // to the barrier schedule.
+  Matrix clean = a0;
+  sbr::dbbr(clean.view(), opts);
+  Matrix barrier = a0;
+  sbr::BandReductionOptions bopts = opts;
+  bopts.lookahead = 0;
+  sbr::dbbr(barrier.view(), bopts);
+  EXPECT_EQ(max_abs_diff(clean.view(), barrier.view()), 0.0);
 }
 
 TEST(ChaseFault, CleanRunAfterPoisonedRunIsBitwiseCorrect) {
@@ -568,6 +615,10 @@ TEST(FaultEnv, NoHangUnderInjection) {
   opts.smlsiz = 16;
   opts.tridiag.b = 8;
   opts.tridiag.bc_threads = 4;
+  // Force the task-graph schedule so the taskgraph_node site is reachable
+  // on any core count (bitwise-neutral; the heuristic only enables it when
+  // the thread budget is >= 2).
+  opts.tridiag.knobs.lookahead = 1;
   try {
     const eig::EvdResult res = eig::eigh(a.view(), opts);
     EXPECT_EQ(res.eigenvalues.size(), static_cast<size_t>(n));

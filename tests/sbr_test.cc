@@ -241,5 +241,125 @@ TEST(SymBand, RejectsBadBandwidth) {
   EXPECT_THROW(extract_band(a.view(), 3, 2), Error);
 }
 
+// The look-ahead DAG schedule must be bitwise identical to the barrier
+// schedule — same tile grid, same kernels, same inputs — at every thread
+// count, for both reductions. 0.0 tolerance everywhere: band matrix AND
+// reflector panels.
+TEST(Lookahead, DbbrBitwiseIdenticalToBarrierAcrossThreadCounts) {
+  const index_t n = 97;  // partial final panel exercises the fixup node
+  Rng rng(777);
+  const Matrix a0 = random_symmetric(n, rng);
+
+  sbr::BandReductionOptions base;
+  base.b = 8;
+  base.k = 32;
+  base.syr2k_block = 16;  // several tiles per trailing update
+
+  // Barrier reference, single-threaded.
+  Matrix ref = a0;
+  sbr::BandFactor fref;
+  {
+    sbr::BandReductionOptions o = base;
+    o.threads = 1;
+    o.lookahead = 0;
+    fref = sbr::dbbr(ref.view(), o);
+  }
+
+  for (const int threads : {1, 2, 8}) {
+    for (const index_t la : {index_t{0}, index_t{1}}) {
+      Matrix a = a0;
+      sbr::BandReductionOptions o = base;
+      o.threads = threads;
+      o.lookahead = la;
+      const sbr::BandFactor f = sbr::dbbr(a.view(), o);
+      EXPECT_EQ(max_abs_diff(a.view(), ref.view()), 0.0)
+          << "threads=" << threads << " lookahead=" << la;
+      ASSERT_EQ(f.panels.size(), fref.panels.size());
+      for (size_t p = 0; p < f.panels.size(); ++p) {
+        EXPECT_EQ(f.panels[p].row0, fref.panels[p].row0);
+        EXPECT_EQ(max_abs_diff(f.panels[p].v.view(), fref.panels[p].v.view()),
+                  0.0)
+            << "panel " << p << " threads=" << threads << " la=" << la;
+        EXPECT_EQ(max_abs_diff(f.panels[p].t.view(), fref.panels[p].t.view()),
+                  0.0);
+      }
+    }
+  }
+}
+
+TEST(Lookahead, Sy2sbBitwiseIdenticalToBarrierAcrossThreadCounts) {
+  const index_t n = 83;
+  const index_t b = 8;
+  Rng rng(778);
+  const Matrix a0 = random_symmetric(n, rng);
+
+  sbr::BandReductionOptions base;
+  base.syr2k_block = 16;
+
+  Matrix ref = a0;
+  sbr::BandFactor fref;
+  {
+    sbr::BandReductionOptions o = base;
+    o.threads = 1;
+    o.lookahead = 0;
+    fref = sbr::sy2sb(ref.view(), b, o);
+  }
+
+  for (const int threads : {1, 2, 8}) {
+    for (const index_t la : {index_t{0}, index_t{1}}) {
+      Matrix a = a0;
+      sbr::BandReductionOptions o = base;
+      o.threads = threads;
+      o.lookahead = la;
+      const sbr::BandFactor f = sbr::sy2sb(a.view(), b, o);
+      EXPECT_EQ(max_abs_diff(a.view(), ref.view()), 0.0)
+          << "threads=" << threads << " lookahead=" << la;
+      ASSERT_EQ(f.panels.size(), fref.panels.size());
+      for (size_t p = 0; p < f.panels.size(); ++p) {
+        EXPECT_EQ(f.panels[p].row0, fref.panels[p].row0);
+        EXPECT_EQ(max_abs_diff(f.panels[p].v.view(), fref.panels[p].v.view()),
+                  0.0);
+        EXPECT_EQ(max_abs_diff(f.panels[p].t.view(), fref.panels[p].t.view()),
+                  0.0);
+      }
+    }
+  }
+}
+
+// An active op trace forces the barrier path (pool workers carry no
+// recorder), so tracing a look-ahead run still yields the canonical trace.
+TEST(Lookahead, TraceFallsBackToBarrierSchedule) {
+  const index_t n = 48;
+  Rng rng(779);
+  const Matrix a0 = random_symmetric(n, rng);
+
+  sbr::BandReductionOptions o;
+  o.b = 8;
+  o.k = 16;
+  o.threads = 8;
+
+  trace::Recorder rec_barrier;
+  {
+    Matrix a = a0;
+    o.lookahead = 0;
+    trace::Scope scope(rec_barrier);
+    sbr::dbbr(a.view(), o);
+  }
+  trace::Recorder rec_la;
+  Matrix a_la = a0;
+  {
+    o.lookahead = 1;
+    trace::Scope scope(rec_la);
+    sbr::dbbr(a_la.view(), o);
+  }
+  ASSERT_EQ(rec_la.ops().size(), rec_barrier.ops().size());
+  for (size_t i = 0; i < rec_la.ops().size(); ++i) {
+    EXPECT_EQ(rec_la.ops()[i].kind, rec_barrier.ops()[i].kind);
+    EXPECT_EQ(rec_la.ops()[i].m, rec_barrier.ops()[i].m);
+    EXPECT_EQ(rec_la.ops()[i].n, rec_barrier.ops()[i].n);
+    EXPECT_EQ(rec_la.ops()[i].k, rec_barrier.ops()[i].k);
+  }
+}
+
 }  // namespace
 }  // namespace tdg

@@ -1,0 +1,217 @@
+// Tests for the task-graph runtime (src/common/task_graph.h): topology and
+// ordering, deterministic serial fallback, re-entrancy from pool tasks,
+// exception propagation with successor cancellation, the taskgraph_node
+// fault site, and the run statistics.
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/fault.h"
+#include "common/task_graph.h"
+#include "common/thread_pool.h"
+
+namespace tdg {
+namespace {
+
+using graph::NodeClass;
+using graph::TaskGraph;
+
+TEST(TaskGraph, EmptyGraphRuns) {
+  TaskGraph g;
+  const TaskGraph::Stats s = g.run();
+  EXPECT_EQ(s.nodes_run, 0);
+  EXPECT_EQ(s.nodes_cancelled, 0);
+}
+
+TEST(TaskGraph, RespectsEdgesAtEveryThreadCount) {
+  for (const int threads : {1, 2, 8}) {
+    ThreadLimit scope(threads);
+    // Diamond: a -> {b, c} -> d, plus a long chain hanging off b. Record
+    // completion order and verify every edge.
+    std::mutex mu;
+    std::vector<int> order;
+    TaskGraph g;
+    auto node = [&](int tag) {
+      return [&order, &mu, tag] {
+        std::lock_guard<std::mutex> lk(mu);
+        order.push_back(tag);
+      };
+    };
+    const auto a = g.add("t.a", NodeClass::kPooled, node(0));
+    const auto b = g.add("t.b", NodeClass::kPooled, node(1), {a});
+    const auto c = g.add("t.c", NodeClass::kDriver, node(2), {a});
+    const auto d = g.add("t.d", NodeClass::kPooled, node(3), {b, c});
+    const auto e = g.add("t.e", NodeClass::kPooled, node(4), {b});
+    const auto f = g.add("t.f", NodeClass::kDriver, node(5), {e, d});
+    (void)f;
+    const TaskGraph::Stats s = g.run();
+    EXPECT_EQ(s.nodes_run, 6);
+    EXPECT_EQ(s.nodes_cancelled, 0);
+    ASSERT_EQ(order.size(), 6u);
+    auto pos = [&](int tag) {
+      for (size_t i = 0; i < order.size(); ++i) {
+        if (order[i] == tag) return static_cast<int>(i);
+      }
+      return -1;
+    };
+    EXPECT_LT(pos(0), pos(1));
+    EXPECT_LT(pos(0), pos(2));
+    EXPECT_LT(pos(1), pos(3));
+    EXPECT_LT(pos(2), pos(3));
+    EXPECT_LT(pos(1), pos(4));
+    EXPECT_LT(pos(3), pos(5));
+    EXPECT_LT(pos(4), pos(5));
+  }
+}
+
+TEST(TaskGraph, SerialFallbackRunsInInsertionOrderForChains) {
+  ThreadLimit scope(1);
+  std::vector<int> order;
+  TaskGraph g;
+  TaskGraph::NodeId prev = -1;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<TaskGraph::NodeId> deps;
+    if (prev >= 0) deps.push_back(prev);
+    prev = g.add("t.chain", i % 2 ? NodeClass::kPooled : NodeClass::kDriver,
+                 [&order, i] { order.push_back(i); }, deps);
+  }
+  g.run();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(TaskGraph, IndependentNodesAllRunInParallelMode) {
+  ThreadLimit scope(8);
+  std::atomic<int> ran{0};
+  TaskGraph g;
+  for (int i = 0; i < 64; ++i) {
+    g.add("t.leaf", i % 4 ? NodeClass::kPooled : NodeClass::kDriver,
+          [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  const TaskGraph::Stats s = g.run();
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_EQ(s.nodes_run, 64);
+  EXPECT_GE(s.ready_depth_hwm, 1);
+}
+
+TEST(TaskGraph, ReentrantFromPoolTaskRunsSerially) {
+  // A graph launched from inside a pool task must complete inline instead
+  // of deadlocking on the pool's own queue.
+  ThreadLimit scope(4);
+  std::atomic<int> total{0};
+  ThreadPool::global().parallel_for(0, 4, [&](index_t) {
+    TaskGraph g;
+    std::vector<int> order;
+    const auto a = g.add("t.ra", NodeClass::kPooled,
+                         [&order] { order.push_back(0); });
+    g.add("t.rb", NodeClass::kDriver, [&order] { order.push_back(1); }, {a});
+    g.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+    total.fetch_add(static_cast<int>(order.size()));
+  });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(TaskGraph, NestedParallelForInsideDriverNodeWorks) {
+  ThreadLimit scope(4);
+  std::atomic<int> sum{0};
+  TaskGraph g;
+  g.add("t.fanout", NodeClass::kDriver, [&sum] {
+    ThreadPool::global().parallel_for(0, 32, [&](index_t) {
+      sum.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  g.run();
+  EXPECT_EQ(sum.load(), 32);
+}
+
+TEST(TaskGraph, ThrowingNodeCancelsSuccessorsAndRethrows) {
+  for (const int threads : {1, 2, 8}) {
+    ThreadLimit scope(threads);
+    std::atomic<int> ran{0};
+    TaskGraph g;
+    const auto a = g.add("t.ok", NodeClass::kPooled,
+                         [&ran] { ran.fetch_add(1); });
+    const auto boom = g.add(
+        "t.boom", NodeClass::kPooled,
+        [] {
+          throw Error(ErrorCode::kPipelineStall, "task_graph test failure");
+        },
+        {a});
+    const auto dead = g.add("t.dead", NodeClass::kDriver,
+                            [&ran] { ran.fetch_add(1); }, {boom});
+    g.add("t.dead2", NodeClass::kPooled, [&ran] { ran.fetch_add(1); },
+          {dead});
+    try {
+      g.run();
+      FAIL() << "expected Error";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kPipelineStall);
+    }
+    // Only the pre-failure node ran; the successors were cancelled (still
+    // drained, so run() returned instead of deadlocking).
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_EQ(g.stats().nodes_cancelled, 2);
+  }
+}
+
+TEST(TaskGraph, FaultSiteFiresAsTypedError) {
+  ThreadLimit scope(2);
+  fault::Scoped arm("taskgraph_node", /*trigger=*/2);
+  std::atomic<int> ran{0};
+  TaskGraph g;
+  TaskGraph::NodeId prev = -1;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<TaskGraph::NodeId> deps;
+    if (prev >= 0) deps.push_back(prev);
+    prev = g.add("t.site", NodeClass::kPooled, [&ran] { ran.fetch_add(1); },
+                 deps);
+  }
+  try {
+    g.run();
+    FAIL() << "expected injected fault";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kFaultInjected);
+  }
+  // Node 0 completed; node 1 started but the site fired at entry (it still
+  // counts as run — it was not cancelled); nodes 2 and 3 were cancelled.
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(g.stats().nodes_run, 2);
+  EXPECT_EQ(g.stats().nodes_cancelled, 2);
+}
+
+TEST(TaskGraph, StatsAccounting) {
+  ThreadLimit scope(4);
+  TaskGraph g;
+  const auto a = g.add("t.s0", NodeClass::kPooled, [] {});
+  g.add("t.s1", NodeClass::kDriver, [] {}, {a});
+  const TaskGraph::Stats s = g.run();
+  EXPECT_EQ(s.nodes_run, 2);
+  EXPECT_GE(s.busy_us, 0.0);
+  EXPECT_GE(s.overlap_us, 0.0);
+  EXPECT_LE(s.overlap_us, s.busy_us + 1.0);
+  EXPECT_GE(s.overlap_fraction(), 0.0);
+  EXPECT_LE(s.overlap_fraction(), 1.0);
+}
+
+TEST(TaskGraph, RunTwiceIsAnError) {
+  TaskGraph g;
+  g.add("t.once", NodeClass::kPooled, [] {});
+  g.run();
+  EXPECT_THROW(g.run(), Error);
+  EXPECT_THROW(g.add("t.late", NodeClass::kPooled, [] {}), Error);
+}
+
+TEST(TaskGraph, ForwardOrSelfDependencyIsAnError) {
+  TaskGraph g;
+  EXPECT_THROW(g.add("t.bad", NodeClass::kPooled, [] {}, {0}), Error);
+}
+
+}  // namespace
+}  // namespace tdg
