@@ -1,0 +1,183 @@
+// Line-protocol TCP front end for tdg::serve::ServeCore.
+//
+// A deliberately thin transport: one listening socket, one thread per
+// connection, one request per line (src/serve/wire.h documents the
+// protocol). All resilience — admission control, deadlines, coalescing,
+// degradation, breakers — lives in ServeCore; this file only moves bytes.
+//
+//   serve_main [--port=7070] [--queue=256] [--window_ms=2]
+//              [--max_batch=64] [--degrade_depth=0] [--mem_mb=0]
+//
+// Try it:
+//   ./serve_main --port=7070 &
+//   printf 'solve id=1 n=96 seed=7\nstats\nquit\n' | nc localhost 7070
+//
+// Matrices are synthesized server-side from the request seed
+// (la::random_symmetric), so the wire stays line-oriented; this front end
+// is for acceptance and load testing, not a bulk-data plane.
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <tdg/serve.h>
+
+#include "common/rng.h"
+#include "la/generate.h"
+
+namespace {
+
+using namespace tdg;
+
+long long arg_ll(int argc, char** argv, const std::string& name,
+                 long long fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return std::stoll(a.substr(prefix.size()));
+  }
+  return fallback;
+}
+
+bool send_line(int fd, std::string line) {
+  line.push_back('\n');
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t w = ::send(fd, line.data() + off, line.size() - off, 0);
+    if (w <= 0) return false;
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void handle_connection(int fd, serve::ServeCore* core) {
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    const std::size_t nl_at = buf.find('\n');
+    if (nl_at == std::string::npos) {
+      const ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (r <= 0) break;
+      buf.append(chunk, static_cast<std::size_t>(r));
+      continue;
+    }
+    std::string line = buf.substr(0, nl_at);
+    buf.erase(0, nl_at + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+
+    const serve::wire::ParsedRequest req = serve::wire::parse_line(line);
+    switch (req.kind) {
+      case serve::wire::ParsedRequest::kSolve: {
+        Rng rng(req.seed);
+        Matrix a = random_symmetric(req.n, rng);
+        serve::Ticket ticket = core->submit(std::move(a), req.opts);
+        const serve::Response resp = ticket.response.get();
+        if (!send_line(fd, serve::wire::format_response(req.id, resp))) {
+          ::close(fd);
+          return;
+        }
+        break;
+      }
+      case serve::wire::ParsedRequest::kStats:
+        if (!send_line(fd, serve::wire::format_stats(core->stats()))) {
+          ::close(fd);
+          return;
+        }
+        break;
+      case serve::wire::ParsedRequest::kDrain: {
+        const bool ok = core->drain(/*timeout_ms=*/60000.0);
+        if (!send_line(fd, ok ? "drained" : "drain_timeout")) {
+          ::close(fd);
+          return;
+        }
+        break;
+      }
+      case serve::wire::ParsedRequest::kQuit:
+        send_line(fd, "bye");
+        ::close(fd);
+        return;
+      case serve::wire::ParsedRequest::kBad:
+        if (!send_line(fd, "err id=0 outcome=rejected code=invalid_input "
+                           "msg=\"" +
+                               req.error + "\"")) {
+          ::close(fd);
+          return;
+        }
+        break;
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::signal(SIGPIPE, SIG_IGN);
+
+  serve::ServeOptions sopts;
+  sopts.queue_capacity =
+      static_cast<index_t>(arg_ll(argc, argv, "queue", 256));
+  sopts.coalesce_window_ms =
+      static_cast<double>(arg_ll(argc, argv, "window_ms", 2));
+  sopts.max_batch = static_cast<int>(arg_ll(argc, argv, "max_batch", 64));
+  sopts.degrade_queue_depth =
+      static_cast<index_t>(arg_ll(argc, argv, "degrade_depth", 0));
+  sopts.memory_budget_bytes =
+      arg_ll(argc, argv, "mem_mb", 0) * 1024 * 1024;
+  serve::ServeCore core(sopts);
+
+  const int port = static_cast<int>(arg_ll(argc, argv, "port", 7070));
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listener, 64) < 0) {
+    std::perror("bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "serve_main: listening on 127.0.0.1:%d\n", port);
+
+  std::vector<std::thread> conns;
+  for (;;) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) break;
+    conns.emplace_back(handle_connection, fd, &core);
+  }
+  for (auto& t : conns) t.join();
+  ::close(listener);
+  return 0;
+}
+
+#else  // !(__unix__ || __APPLE__)
+
+#include <cstdio>
+
+int main() {
+  std::fprintf(stderr,
+               "serve_main: POSIX sockets unavailable on this platform; "
+               "use bench_serve for in-process load.\n");
+  return 0;
+}
+
+#endif

@@ -1,0 +1,14 @@
+// Public umbrella header for the tdg EVD service layer.
+//
+//   tdg::serve::ServeCore — admission control, deadlines, shape-bucket
+//       coalescing into eigh_batched, retry/degradation ladder, per-bucket
+//       circuit breakers, graceful drain (src/serve/serve.h for the full
+//       contract)
+//   tdg::serve::wire      — the line protocol the TCP front end
+//       (examples/serve_main.cc) and bench_serve speak
+//
+// See docs/ALGORITHMS.md §15 and the README "serving quickstart".
+#pragma once
+
+#include "serve/serve.h"  // ServeCore, ServeOptions, RequestOptions, ...
+#include "serve/wire.h"   // wire::parse_line, wire::format_response

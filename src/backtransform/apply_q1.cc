@@ -1,5 +1,6 @@
 #include "backtransform/backtransform.h"
 
+#include "common/cancel.h"
 #include "la/blas.h"
 #include "lapack/lapack.h"
 
@@ -9,6 +10,7 @@ void apply_q1_conventional(const sbr::BandFactor& f, MatrixView c) {
   TDG_CHECK(c.rows == f.n, "apply_q1_conventional: row mismatch");
   // Q1 C = Q_p0 (Q_p1 (... (Q_pm C))) — panels applied in reverse order.
   for (auto p = f.panels.rbegin(); p != f.panels.rend(); ++p) {
+    cancel::poll("backtransform_panel");
     lapack::apply_block_reflector_left(
         p->v.view(), p->t.view(), Trans::kNo,
         c.block(p->row0, 0, f.n - p->row0, c.cols));

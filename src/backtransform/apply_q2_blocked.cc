@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "obs/obs.h"
@@ -77,6 +78,8 @@ void apply_q2_left_blocked(const bc::ChaseLog& log, MatrixView c,
   TDG_CHECK(group >= 1, "apply_q2_left_blocked: group must be >= 1");
   const index_t nc = c.cols;
   const index_t b = std::max<index_t>(log.b, 1);
+
+  cancel::poll("backtransform_panel");
 
   obs::Span span("apply_q2");
   span.attr("n", log.n);

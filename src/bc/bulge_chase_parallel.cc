@@ -2,13 +2,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/fault.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
@@ -41,19 +41,6 @@ struct BcMetrics {
     return m;
   }
 };
-
-/// Spin deadline resolved from TDG_SPIN_TIMEOUT_MS when the option is left
-/// at -1. The default converts a genuinely wedged gate into a diagnosable
-/// error after a minute instead of hanging the process; 0 disables.
-int env_spin_timeout_ms() {
-  static const int v = [] {
-    if (const char* e = std::getenv("TDG_SPIN_TIMEOUT_MS")) {
-      return std::atoi(e);
-    }
-    return kDefaultSpinTimeoutMs;
-  }();
-  return v;
-}
 
 [[noreturn]] void throw_stall(index_t sweep, index_t row, int timeout_ms) {
   throw Error(ErrorCode::kPipelineStall,
@@ -128,8 +115,18 @@ void chase_all_parallel(const Acc& acc, index_t b,
   const int nthreads =
       static_cast<int>(std::min<index_t>(std::max(want, 1), nsweeps));
   const index_t cap = opts.max_parallel_sweeps;
-  const int timeout_ms =
-      opts.spin_timeout_ms >= 0 ? opts.spin_timeout_ms : env_spin_timeout_ms();
+  // Shared stall deadline (TDG_SPIN_TIMEOUT_MS): the same contract the
+  // task-graph drain watchdog uses, via common/cancel.h.
+  const int timeout_ms = opts.spin_timeout_ms >= 0
+                             ? opts.spin_timeout_ms
+                             : cancel::stall_timeout_ms();
+
+  // Cooperative cancellation: pool workers do not inherit the caller's
+  // thread-local cancel scope, so capture the token here and poll it
+  // explicitly at each sweep claim. A cancelled/expired token throws
+  // kCancelled, which poisons the pipeline and unwinds the peers exactly
+  // like any other sweep failure.
+  const cancel::Token* ctok = cancel::current();
 
   // Poisonable gates: on any task failure the abort flag releases every
   // spinning peer (both spin loops check it), so the pipeline unwinds
@@ -171,6 +168,7 @@ void chase_all_parallel(const Acc& acc, index_t b,
       if (i >= nsweeps) return;
       try {
         if (aborted.load(std::memory_order_acquire)) return;
+        cancel::poll(ctok, "bc_sweep");
         fault::maybe_inject("bc_sweep");
         if (fault::should_fire("bc_stall")) {
           // Simulated wedge: hold this sweep's gate until a peer's spin

@@ -23,13 +23,15 @@
 #pragma once
 
 #include "bc/bulge_chase.h"
+#include "common/cancel.h"
 
 namespace tdg::bc {
 
 /// Default spin deadline (ms) when neither the option nor
 /// TDG_SPIN_TIMEOUT_MS overrides it. Generous: a healthy pipeline advances
 /// a gate every few microseconds, so a minute of zero progress is a wedge.
-inline constexpr int kDefaultSpinTimeoutMs = 60000;
+/// Shared with the task-graph drain watchdog (common/cancel.h).
+inline constexpr int kDefaultSpinTimeoutMs = cancel::kDefaultStallTimeoutMs;
 
 struct ParallelChaseOptions {
   /// Worker threads. Values above the sweep count are clamped; <= 0 means

@@ -12,6 +12,8 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kPipelineStall: return "pipeline_stall";
     case ErrorCode::kCacheIo: return "cache_io";
     case ErrorCode::kFaultInjected: return "fault_injected";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kOverloaded: return "overloaded";
   }
   return "unknown";
 }

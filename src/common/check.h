@@ -30,6 +30,8 @@ enum class ErrorCode {
   kPipelineStall,  // a progress gate was poisoned or hit its spin deadline
   kCacheIo,        // plan-cache file I/O or locking failure
   kFaultInjected,  // tdg::fault fired at a registered site
+  kCancelled,      // cooperative cancellation / deadline (common/cancel.h)
+  kOverloaded,     // serve-layer admission reject or circuit breaker shed
 };
 
 const char* to_string(ErrorCode code);

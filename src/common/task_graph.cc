@@ -1,11 +1,14 @@
 #include "common/task_graph.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <string>
 
+#include "common/cancel.h"
 #include "common/check.h"
 #include "common/fault.h"
 #include "common/thread_pool.h"
@@ -25,6 +28,7 @@ struct GraphMetrics {
   obs::Counter* busy_us;
   obs::Counter* overlap_us;
   obs::Counter* idle_us;
+  obs::Counter* stalls;
   obs::Gauge* ready_depth_hwm;
 
   static GraphMetrics& get() {
@@ -36,6 +40,7 @@ struct GraphMetrics {
                           r.counter("taskgraph.busy_us"),
                           r.counter("taskgraph.overlap_us"),
                           r.counter("taskgraph.idle_us"),
+                          r.counter("taskgraph.stalls", obs::Gating::kAlways),
                           r.gauge("taskgraph.ready_depth_hwm")};
     }();
     return m;
@@ -51,6 +56,7 @@ struct TaskGraph::State {
     std::function<void()> body;
     std::vector<int> succ;
     int pending = 0;
+    bool finished = false;  // executed or cancelled (stall diagnostics)
   };
 
   std::mutex mu;
@@ -130,6 +136,7 @@ int execute_node(const std::shared_ptr<TaskGraph::State>& st, int id) {
       --st->in_flight;
       ++st->nodes_run;
     }
+    nd.finished = true;
     ++st->done;
     for (const int s : nd.succ) {
       TaskGraph::State::Node& snd = st->nodes[static_cast<size_t>(s)];
@@ -278,12 +285,50 @@ TaskGraph::Stats TaskGraph::run() {
         lk.lock();
         continue;
       }
+      // Nothing ready: wait for a completion, bounded by the stall
+      // deadline (the chase-gate TDG_SPIN_TIMEOUT_MS contract, satellite of
+      // the no-hang guarantee). A full deadline window with zero node
+      // completions means a worker never returned or a node can never
+      // become ready — poison the graph (unstarted nodes cancel, never
+      // execute) and surface a typed kPipelineStall naming the first
+      // unfinished node instead of hanging the driver thread.
+      const int stall_ms = stall_timeout_ms_ >= 0
+                               ? stall_timeout_ms_
+                               : cancel::stall_timeout_ms();
       const double t0 = obs::now_us();
-      st->cv.wait(lk, [&] {
-        return st->done == total || !st->ready_driver.empty() ||
+      const long long before = st->done;
+      const auto progressed = [&] {
+        return st->done != before || !st->ready_driver.empty() ||
                !st->ready_pooled.empty();
-      });
-      st->idle_us += obs::now_us() - t0;
+      };
+      if (stall_ms <= 0) {
+        st->cv.wait(lk, progressed);
+        st->idle_us += obs::now_us() - t0;
+      } else if (!st->cv.wait_for(lk, std::chrono::milliseconds(stall_ms),
+                                  progressed)) {
+        st->idle_us += obs::now_us() - t0;
+        int wedged = -1;
+        const char* wedged_name = "";
+        for (int i = 0; i < total; ++i) {
+          if (!st->nodes[static_cast<size_t>(i)].finished) {
+            wedged = i;
+            wedged_name = st->nodes[static_cast<size_t>(i)].name;
+            break;
+          }
+        }
+        st->failed = true;  // cancel everything not yet started
+        st->cv.notify_all();
+        lk.unlock();
+        GraphMetrics::get().stalls->inc();
+        throw Error(ErrorCode::kPipelineStall,
+                    "task_graph: drain made no progress for " +
+                        std::to_string(stall_ms) +
+                        " ms (TDG_SPIN_TIMEOUT_MS); first unfinished node " +
+                        std::to_string(wedged) + " '" + wedged_name + "'",
+                    {"task_graph", wedged, -1});
+      } else {
+        st->idle_us += obs::now_us() - t0;
+      }
     }
   }
 

@@ -31,6 +31,15 @@
 //    the exception is rethrown from run() after all in-flight nodes have
 //    completed. A throwing node can therefore never deadlock the graph.
 //    The `taskgraph_node` fault site (tdg::fault) fires at node entry.
+//  * Drain watchdog. The parallel driver's cv-wait carries the same stall
+//    deadline as the chase gates (TDG_SPIN_TIMEOUT_MS via
+//    cancel::stall_timeout_ms, overridable per graph): if no node completes
+//    for a whole deadline window — a worker that never returns, or a node
+//    that never becomes ready — the run poisons the graph (unstarted nodes
+//    are cancelled, never executed) and throws Error(kPipelineStall) naming
+//    the first unfinished node, instead of hanging the driver thread. As
+//    with a chase-gate stall, the diagnosis is for clean termination: an
+//    in-flight body that is genuinely wedged cannot be rescued.
 //  * Observability. Each executed node records an obs::Span under its
 //    name (must be a string literal — spans keep the pointer), and a run
 //    feeds the taskgraph.* registry metrics (docs/ALGORITHMS.md §12).
@@ -91,6 +100,11 @@ class TaskGraph {
   /// Number of nodes added so far.
   int size() const;
 
+  /// Override the drain stall deadline for this graph's run(): ms > 0 is a
+  /// hard no-completion window, 0 disables the watchdog, -1 (default) uses
+  /// cancel::stall_timeout_ms() (TDG_SPIN_TIMEOUT_MS). Call before run().
+  void set_stall_timeout_ms(int ms) { stall_timeout_ms_ = ms; }
+
   /// Stats of the completed run (zeros before run()).
   const Stats& stats() const { return stats_; }
 
@@ -102,6 +116,7 @@ class TaskGraph {
   std::shared_ptr<State> st_;
   Stats stats_;
   bool ran_ = false;
+  int stall_timeout_ms_ = -1;  // -1 = cancel::stall_timeout_ms()
 };
 
 }  // namespace tdg::graph

@@ -8,6 +8,7 @@
 #include <numeric>
 #include <utility>
 
+#include "common/cancel.h"
 #include "common/fault.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -123,6 +124,8 @@ BatchResult eigh_batched(const std::vector<ConstMatrixView>& problems,
   res.results.resize(problems.size());
   res.status.resize(problems.size());
   if (b_count == 0) return res;
+  TDG_CHECK(opts.tokens.empty() || opts.tokens.size() == problems.size(),
+            "eigh_batched: tokens must be empty or parallel to problems");
 
   WallTimer timer;
   const int workers = static_cast<int>(std::clamp<index_t>(
@@ -140,23 +143,31 @@ BatchResult eigh_batched(const std::vector<ConstMatrixView>& problems,
   // One plan per pow2 shape bucket, resolved up front through the normal
   // planner / plan-cache path and shared by every problem in the bucket.
   // Keyed by cache_key (fingerprint + bucket + vectors), the same key the
-  // persistent cache uses.
+  // persistent cache uses. A caller-provided shared_plan (the serve layer's
+  // warm per-bucket plan) skips the planner pass entirely.
   std::map<std::string, plan::Plan> bucket_plans;
   std::vector<const plan::Plan*> plan_of(problems.size(), nullptr);
-  for (std::size_t i = 0; i < problems.size(); ++i) {
-    const index_t n = std::max<index_t>(problems[i].rows, 1);
-    const std::string key =
-        plan::cache_key(plan::ProblemShape{n, opts.vectors, 0});
-    auto it = bucket_plans.find(key);
-    if (it == bucket_plans.end()) {
-      it = bucket_plans.emplace(key, batch_bucket_plan(n, opts)).first;
-      m.plans_resolved->inc();
-    } else {
-      ++res.bucket_plan_hits;
+  if (opts.shared_plan != nullptr) {
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      plan_of[i] = opts.shared_plan;
     }
-    plan_of[i] = &it->second;
+    res.bucket_plan_hits = b_count;
+  } else {
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      const index_t n = std::max<index_t>(problems[i].rows, 1);
+      const std::string key =
+          plan::cache_key(plan::ProblemShape{n, opts.vectors, 0});
+      auto it = bucket_plans.find(key);
+      if (it == bucket_plans.end()) {
+        it = bucket_plans.emplace(key, batch_bucket_plan(n, opts)).first;
+        m.plans_resolved->inc();
+      } else {
+        ++res.bucket_plan_hits;
+      }
+      plan_of[i] = &it->second;
+    }
+    res.plans_resolved = static_cast<index_t>(bucket_plans.size());
   }
-  res.plans_resolved = static_cast<index_t>(bucket_plans.size());
   m.bucket_plan_hits->inc(res.bucket_plan_hits);
   batch_span.attr("buckets", res.plans_resolved);
 
@@ -196,6 +207,12 @@ BatchResult eigh_batched(const std::vector<ConstMatrixView>& problems,
       span.attr("worker", w);
       span.attr("stolen", stolen ? 1 : 0);
       try {
+        // Each problem runs under exactly its own cancellation token (a
+        // null entry — or no tokens at all — shadows any outer scope, so a
+        // cancelled caller can never poison an unrelated slot).
+        cancel::Scope cancel_scope(
+            opts.tokens.empty() ? nullptr : opts.tokens[s]);
+        cancel::poll("batch_problem");
         fault::maybe_inject("batch_problem");
         res.results[s] = eigh(problems[s], popt, *plan_of[s]);
         res.status[s].ok = true;

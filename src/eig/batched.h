@@ -41,15 +41,15 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/check.h"
 #include "eig/drivers.h"
 #include "plan/plan.h"
 
 namespace tdg::eig {
 
-/// Options for one eigh_batched() call. Trivially copyable/shareable: the
-/// per-problem configuration is derived once and handed to workers by
-/// value.
+/// Options for one eigh_batched() call. The per-problem configuration is
+/// derived once and handed to workers by value.
 struct BatchOptions {
   /// Compute eigenvectors for every problem in the batch.
   bool vectors = true;
@@ -70,6 +70,18 @@ struct BatchOptions {
   /// Pool workers running problems concurrently. 0 = the ambient thread
   /// budget (TDG_THREADS / hardware); always clamped to [1, min(B, 64)].
   int threads = 0;
+  /// Pre-resolved plan shared by EVERY problem (the serve layer's per-bucket
+  /// warm plan: the caller has already grouped problems into one pow2 shape
+  /// bucket and resolved its plan once). When set, the per-bucket planner
+  /// pass is skipped entirely — plans_resolved stays 0 and every problem
+  /// counts as a bucket_plan_hit. The pointee must outlive the call.
+  const plan::Plan* shared_plan = nullptr;
+  /// Optional per-problem cancellation tokens (common/cancel.h), parallel to
+  /// `problems` when non-empty (size checked). Each worker installs slot i's
+  /// token — and only it — for the duration of problem i; a cancelled or
+  /// deadline-expired slot fails alone with ErrorCode::kCancelled. nullptr
+  /// entries mean "not cancellable". Pointees must outlive the call.
+  std::vector<const cancel::Token*> tokens;
 };
 
 /// Outcome of one slot. `ok` problems have their EvdResult filled; failed

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -187,6 +188,10 @@ EvdResult eigh_impl(ConstMatrixView a, const EvdOptions& opts,
   obs::Span eigh_span("eigh");
   eigh_span.attr("n", n);
   eigh_span.attr("vectors", opts.vectors ? 1 : 0);
+  // Phase-boundary cancellation polls (common/cancel.h): entry, after
+  // tridiagonalization, and before the back-transform. The phases
+  // themselves poll at their own inner boundaries.
+  cancel::poll("eigh");
   if (opts.check_finite) check_lower_finite(a, "eigh");
 
   // One thread budget for the whole pipeline: tridiagonalization, the D&C
@@ -213,6 +218,7 @@ EvdResult eigh_impl(ConstMatrixView a, const EvdOptions& opts,
     tri = tridiagonalize(a, cfg.tridiag);
   }
   res.seconds_tridiag = t.seconds();
+  cancel::poll("solver");
 
   // tri.d / tri.e stay pristine below: the solvers mutate copies, so every
   // fallback restarts from the exact tridiagonal problem.
@@ -302,6 +308,7 @@ EvdResult eigh_impl(ConstMatrixView a, const EvdOptions& opts,
     }
   }
   res.seconds_solver = t.seconds();
+  cancel::poll("backtransform");
 
   // Back-transform into eigenvectors of A: V = Q * Z.
   t.reset();
@@ -343,6 +350,7 @@ EvdResult eigh_range_impl(ConstMatrixView a, index_t il, index_t iu,
   span.attr("n", n);
   span.attr("il", il);
   span.attr("iu", iu);
+  cancel::poll("eigh");
   if (opts.check_finite) check_lower_finite(a, "eigh_range");
 
   ThreadLimit thread_scope(opts.tridiag.threads);

@@ -15,6 +15,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/check.h"
 #include "eig/eig.h"
 #include "eig/secular.h"
@@ -223,6 +224,10 @@ void solve_recursive(double* d, double* e, index_t m, MatrixView q,
     std::copy(dd.begin(), dd.end(), d);
     return;
   }
+
+  // One cancellation poll per merge node of the D&C tree (phase-boundary
+  // granularity; the base cases above are bounded by smlsiz).
+  cancel::poll("stedc_merge");
 
   const index_t m1 = m / 2;
   const double rho = e[m1 - 1];

@@ -117,6 +117,7 @@ Registry& Registry::global() {
     r->counter("taskgraph.busy_us");
     r->counter("taskgraph.overlap_us");
     r->counter("taskgraph.idle_us");
+    r->counter("taskgraph.stalls", Gating::kAlways);
     r->gauge("taskgraph.ready_depth_hwm");
     r->counter("bc.sweeps");
     r->counter("bc.gate_spin_episodes");
@@ -133,6 +134,8 @@ Registry& Registry::global() {
     r->counter("plan.cache_saves", Gating::kAlways);
     r->counter("plan.cache_save_failures", Gating::kAlways);
     r->counter("plan.cache_lock_failures", Gating::kAlways);
+    r->counter("plan.cache_lock_waits", Gating::kAlways);
+    r->counter("plan.cache_merged_entries", Gating::kAlways);
     r->counter("fault.fires", Gating::kAlways);
     r->counter("batch.problems", Gating::kAlways);
     r->counter("batch.steals", Gating::kAlways);
@@ -140,6 +143,19 @@ Registry& Registry::global() {
     r->counter("batch.bucket_plan_hits", Gating::kAlways);
     r->counter("batch.recoveries", Gating::kAlways);
     r->counter("batch.failures", Gating::kAlways);
+    r->counter("serve.submitted", Gating::kAlways);
+    r->counter("serve.admitted", Gating::kAlways);
+    r->counter("serve.rejected", Gating::kAlways);
+    r->counter("serve.completed", Gating::kAlways);
+    r->counter("serve.degraded", Gating::kAlways);
+    r->counter("serve.failed", Gating::kAlways);
+    r->counter("serve.retries", Gating::kAlways);
+    r->counter("serve.breaker_trips", Gating::kAlways);
+    r->counter("serve.batches", Gating::kAlways);
+    r->counter("serve.deadline_failures", Gating::kAlways);
+    r->gauge("serve.queue_depth", Gating::kAlways);
+    r->gauge("serve.queue_depth_hwm", Gating::kAlways);
+    r->histogram("serve.latency_us", Gating::kAlways);
     return r;
   }();
   return *reg;

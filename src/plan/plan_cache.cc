@@ -33,6 +33,15 @@ class FileLock {
 #if defined(TDG_HAVE_FLOCK)
     fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
     if (fd_ < 0) return;
+    // Non-blocking probe first, purely for telemetry: a peer holding the
+    // lock is a real contention event (the old blocking-only path silently
+    // absorbed the wait, undercounting it to zero). The blocking acquire
+    // then waits for the peer as before.
+    if (::flock(fd_, LOCK_EX | LOCK_NB) == 0) {
+      acquired_ = true;
+      return;
+    }
+    contended_ = true;
     if (::flock(fd_, LOCK_EX) != 0) {
       ::close(fd_);
       fd_ = -1;
@@ -54,10 +63,14 @@ class FileLock {
   FileLock(const FileLock&) = delete;
   FileLock& operator=(const FileLock&) = delete;
   bool ok() const { return acquired_; }
+  /// True when the initial non-blocking probe lost to a peer process and
+  /// the acquire had to wait (or failed) behind it.
+  bool contended() const { return contended_; }
 
  private:
   int fd_ = -1;
   bool acquired_ = false;
+  bool contended_ = false;
 };
 
 const char* method_name(TridiagMethod m) {
@@ -165,12 +178,17 @@ void write_entry(std::FILE* f, const std::string& key, const Plan& p,
       p.measured_seconds, last ? "" : ",");
 }
 
-void merge_entry(std::map<std::string, Plan>* into, const std::string& key,
+/// Insert-or-improve; returns true when `into` changed (new key, or `plan`
+/// won on measured time) — the exact signal the merged-entry telemetry
+/// needs.
+bool merge_entry(std::map<std::string, Plan>* into, const std::string& key,
                  const Plan& plan) {
   auto [it, inserted] = into->emplace(key, plan);
   if (!inserted && plan.measured_seconds < it->second.measured_seconds) {
     it->second = plan;
+    return true;
   }
+  return inserted;
 }
 
 }  // namespace
@@ -178,9 +196,11 @@ void merge_entry(std::map<std::string, Plan>* into, const std::string& key,
 PlanCache::PlanCache() {
   // Private always-on counters: test instances must count identically to
   // the global one without sharing its totals.
-  obs::Counter** slots[] = {&c_.hits,  &c_.misses,        &c_.measure_runs,
-                            &c_.loads, &c_.saves,         &c_.save_failures,
-                            &c_.lock_failures};
+  obs::Counter** slots[] = {&c_.hits,          &c_.misses,
+                            &c_.measure_runs,  &c_.loads,
+                            &c_.saves,         &c_.save_failures,
+                            &c_.lock_failures, &c_.lock_waits,
+                            &c_.merged_entries};
   for (obs::Counter** slot : slots) {
     owned_counters_.push_back(
         std::make_unique<obs::Counter>(obs::Gating::kAlways));
@@ -201,6 +221,9 @@ PlanCache::PlanCache(UseRegistryTag) {
       r.counter("plan.cache_save_failures", obs::Gating::kAlways);
   c_.lock_failures =
       r.counter("plan.cache_lock_failures", obs::Gating::kAlways);
+  c_.lock_waits = r.counter("plan.cache_lock_waits", obs::Gating::kAlways);
+  c_.merged_entries =
+      r.counter("plan.cache_merged_entries", obs::Gating::kAlways);
 }
 
 index_t pow2_bucket(index_t n) {
@@ -244,8 +267,12 @@ bool PlanCache::load(const std::string& path) {
   std::map<std::string, Plan> fresh;
   if (!parse_cache_file(path, &fresh)) return false;
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [key, plan] : fresh) merge_entry(&entries_, key, plan);
+  long long adopted = 0;
+  for (const auto& [key, plan] : fresh) {
+    if (merge_entry(&entries_, key, plan)) ++adopted;
+  }
   c_.loads->inc();
+  c_.merged_entries->inc(adopted);
   return true;
 }
 
@@ -263,12 +290,20 @@ bool PlanCache::save(const std::string& path) const {
   // the pre-flock behavior) rather than dropping the save.
   FileLock file_lock(path + ".lock");
   if (!file_lock.ok()) c_.lock_failures->inc();
+  if (file_lock.contended()) c_.lock_waits->inc();
 
   std::map<std::string, Plan> merged;
   parse_cache_file(path, &merged);  // unparsable file = start empty
+  // Exact adopted-from-disk count: every file entry that survives the
+  // re-merge (its key is absent from memory, or its measured time wins)
+  // is a peer measurement this save preserved.
+  long long from_disk = static_cast<long long>(merged.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [key, plan] : entries_) merge_entry(&merged, key, plan);
+    for (const auto& [key, plan] : entries_) {
+      const bool existed = merged.count(key) != 0;
+      if (merge_entry(&merged, key, plan) && existed) --from_disk;
+    }
   }
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "w");
@@ -290,6 +325,7 @@ bool PlanCache::save(const std::string& path) const {
     return false;
   }
   c_.saves->inc();
+  c_.merged_entries->inc(from_disk);
   return true;
 }
 
@@ -312,6 +348,8 @@ CacheStats PlanCache::stats() const {
   s.saves = c_.saves->value();
   s.save_failures = c_.save_failures->value();
   s.lock_failures = c_.lock_failures->value();
+  s.lock_waits = c_.lock_waits->value();
+  s.merged_entries = c_.merged_entries->value();
   return s;
 }
 
@@ -329,6 +367,8 @@ void PlanCache::reset_stats() {
   c_.saves->reset();
   c_.save_failures->reset();
   c_.lock_failures->reset();
+  c_.lock_waits->reset();
+  c_.merged_entries->reset();
   shape_stats_.clear();
 }
 

@@ -20,7 +20,13 @@
 // tune/bench *processes* cannot interleave and drop each other's freshly
 // measured entries; if the lock cannot be acquired the save degrades to the
 // old unlocked atomic-rename path (still never corrupting the file) and the
-// degradation is counted in CacheStats::lock_failures. A file that fails to
+// degradation is counted in CacheStats::lock_failures. A lock currently
+// held by a peer process is waited for (blocking flock) and every such wait
+// is counted in CacheStats::lock_waits — the contention telemetry; entries
+// adopted from the file over (or absent from) memory's copy during the
+// re-merge are counted exactly in CacheStats::merged_entries, so a
+// cross-process merge that preserved a peer's measurement is directly
+// observable. A file that fails to
 // parse is treated as empty: a corrupted cache costs a re-measurement,
 // never an error. All operations are thread-safe.
 //
@@ -54,6 +60,8 @@ struct CacheStats {
   long long saves = 0;          // successful file writes
   long long save_failures = 0;  // I/O failures (file left as it was)
   long long lock_failures = 0;  // flock unavailable; saved unlocked
+  long long lock_waits = 0;     // flock held by a peer; save blocked for it
+  long long merged_entries = 0;  // disk entries adopted over memory's copy
 };
 
 /// Per-shape-bucket counters, keyed by cache_key().
@@ -112,8 +120,8 @@ class PlanCache {
   /// registry under "plan.cache_hits" etc. instead of privately owned.
   explicit PlanCache(UseRegistryTag);
 
-  /// Pointers to the seven stat counters, either into owned_counters_ or
-  /// into obs::Registry::global().
+  /// Pointers to the stat counters, either into owned_counters_ or into
+  /// obs::Registry::global().
   struct Counters {
     obs::Counter* hits = nullptr;
     obs::Counter* misses = nullptr;
@@ -122,6 +130,8 @@ class PlanCache {
     obs::Counter* saves = nullptr;
     obs::Counter* save_failures = nullptr;
     obs::Counter* lock_failures = nullptr;
+    obs::Counter* lock_waits = nullptr;
+    obs::Counter* merged_entries = nullptr;
   };
 
   mutable std::mutex mu_;

@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/task_graph.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -219,6 +220,9 @@ void dbbr_graph(MatrixView a, const BandReductionOptions& opts, Matrix& y,
     const TaskGraph::NodeId pc = g.add(
         "dbbr.panel_chain", NodeClass::kDriver,
         [&a, &steps, &pre, &pre_ok, &y, &z, &f, s, n, b, k] {
+          // Driver nodes run on the run() caller thread, which still holds
+          // the request's cancel::Scope — one poll per outer block.
+          cancel::poll("dbbr_block");
           const StepGeom& cur = steps[s];
           y.set_zero();
           z.set_zero();
@@ -318,6 +322,7 @@ BandFactor dbbr(MatrixView a, const BandReductionOptions& opts) {
 
   index_t i = 0;
   while (n - i - b >= 1) {
+    cancel::poll("dbbr_block");
     y.set_zero();
     z.set_zero();
     index_t cols = 0;  // accumulated reflector columns in this outer block

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/task_graph.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -150,6 +151,9 @@ void sy2sb_graph(MatrixView a, const BandReductionOptions& opts, BandFactor& f,
     const TaskGraph::NodeId pt = g.add(
         "sy2sb.panel", NodeClass::kDriver,
         [&a, &steps, &wys, &zs, &pre_ok, p, b] {
+          // Driver node — runs on the run() caller, which holds the
+          // request's cancel::Scope. One poll per panel.
+          cancel::poll("sy2sb_block");
           const StepGeom& cur = steps[p];
           obs::Span panel_span("sy2sb.panel");
           panel_span.attr("j", cur.j);
@@ -231,6 +235,7 @@ BandFactor sy2sb(MatrixView a, index_t b, const BandReductionOptions& opts) {
   }
 
   for (index_t j = 0; n - j - b >= 1; j += b) {
+    cancel::poll("sy2sb_block");
     const index_t m = n - j - b;       // rows of the below-band panel
     const index_t w = std::min(b, m);  // panel width
     obs::Span panel_span("sy2sb.panel");

@@ -1,0 +1,679 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/fault.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "plan/plan_cache.h"
+
+namespace tdg::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             b - a)
+      .count();
+}
+
+/// serve.* registry metrics, resolved once. All always-on: a request is
+/// control-plane traffic and its accounting must survive disarmed metrics.
+struct ServeMetrics {
+  obs::Counter* submitted;
+  obs::Counter* admitted;
+  obs::Counter* rejected;
+  obs::Counter* completed;
+  obs::Counter* degraded;
+  obs::Counter* failed;
+  obs::Counter* retries;
+  obs::Counter* breaker_trips;
+  obs::Counter* batches;
+  obs::Counter* deadline_failures;
+  obs::Gauge* queue_depth;
+  obs::Gauge* queue_depth_hwm;
+  obs::Histogram* latency_us;
+
+  static ServeMetrics& get() {
+    static ServeMetrics m = [] {
+      obs::Registry& r = obs::Registry::global();
+      const auto always = obs::Gating::kAlways;
+      return ServeMetrics{r.counter("serve.submitted", always),
+                          r.counter("serve.admitted", always),
+                          r.counter("serve.rejected", always),
+                          r.counter("serve.completed", always),
+                          r.counter("serve.degraded", always),
+                          r.counter("serve.failed", always),
+                          r.counter("serve.retries", always),
+                          r.counter("serve.breaker_trips", always),
+                          r.counter("serve.batches", always),
+                          r.counter("serve.deadline_failures", always),
+                          r.gauge("serve.queue_depth", always),
+                          r.gauge("serve.queue_depth_hwm", always),
+                          r.histogram("serve.latency_us", always)};
+    }();
+    return m;
+  }
+};
+
+/// Per-bucket circuit breaker (guarded by the core mutex). Closed ->
+/// (threshold consecutive failures) -> open for breaker_open_ms -> one
+/// half-open probe -> closed on success, reopened on failure.
+struct Breaker {
+  int consecutive = 0;
+  bool open = false;
+  bool probing = false;  // a half-open probe is in flight
+  Clock::time_point open_until{};
+};
+
+/// Transient failure classes that earn a retry instead of failing the
+/// request outright. kCancelled is deliberately absent (retrying past a
+/// deadline is never useful), as is kInvalidInput (deterministic).
+bool transient(ErrorCode code) {
+  return code == ErrorCode::kFaultInjected ||
+         code == ErrorCode::kPipelineStall;
+}
+
+}  // namespace
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kCompleted: return "completed";
+    case Outcome::kDegraded: return "degraded";
+    case Outcome::kRejected: return "rejected";
+    case Outcome::kFailed: return "failed";
+  }
+  return "failed";
+}
+
+struct ServeCore::Impl {
+  struct Request {
+    Matrix a;
+    RequestOptions ropts;
+    std::promise<Response> promise;
+    std::shared_ptr<cancel::Token> token;
+    Clock::time_point submitted_at{};
+    std::string admit_key;  // breaker bucket, as admitted (pre-degrade)
+    bool probe = false;     // the bucket breaker's half-open probe
+    int retries = 0;
+  };
+
+  explicit Impl(const ServeOptions& o) : opts(o) {
+    dispatcher = std::thread([this] { run(); });
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      draining = true;
+      stopping = true;
+    }
+    cv.notify_all();
+    dispatcher.join();
+  }
+
+  // ---- admission (caller thread) -------------------------------------
+
+  Ticket submit(Matrix a, const RequestOptions& ropts) {
+    ServeMetrics& m = ServeMetrics::get();
+    auto token = std::make_shared<cancel::Token>();
+    if (ropts.deadline_ms > 0.0) token->set_deadline_in_ms(ropts.deadline_ms);
+
+    auto req = std::make_unique<Request>();
+    req->ropts = ropts;
+    req->token = token;
+    req->submitted_at = Clock::now();
+    Ticket ticket{req->promise.get_future(), token};
+
+    const index_t n = a.rows();
+    const long long bytes =
+        static_cast<long long>(n) * static_cast<long long>(n) * 8;
+    req->admit_key = plan::cache_key(plan::ProblemShape{
+        std::max<index_t>(n, 1), ropts.vectors, 0});
+
+    std::lock_guard<std::mutex> lk(mu);
+    ++submitted;
+    m.submitted->inc();
+
+    // Admission ladder: every reject is synchronous and typed — the
+    // request never consumes queue space or a dispatch slot.
+    if (fault::should_fire("serve_admit")) {
+      reject(std::move(req), ErrorCode::kFaultInjected,
+             "serve: fault injected at admission (serve_admit)");
+      return ticket;
+    }
+    if (draining) {
+      reject(std::move(req), ErrorCode::kOverloaded,
+             "serve: draining, not admitting new requests");
+      return ticket;
+    }
+    if (static_cast<index_t>(queue.size()) >= opts.queue_capacity) {
+      reject(std::move(req), ErrorCode::kOverloaded,
+             "serve: queue full (queue_capacity)");
+      return ticket;
+    }
+    if (opts.memory_budget_bytes > 0 &&
+        queued_bytes + bytes > opts.memory_budget_bytes) {
+      reject(std::move(req), ErrorCode::kOverloaded,
+             "serve: queued-matrix memory budget exceeded");
+      return ticket;
+    }
+    Breaker& br = breakers[req->admit_key];
+    if (br.open) {
+      if (Clock::now() < br.open_until || br.probing) {
+        reject(std::move(req), ErrorCode::kOverloaded,
+               "serve: circuit breaker open for this shape bucket");
+        return ticket;
+      }
+      // Half-open: let exactly one probe through to decide close/reopen.
+      br.probing = true;
+      req->probe = true;
+    }
+
+    req->a = std::move(a);
+    ++admitted;
+    m.admitted->inc();
+    queued_bytes += bytes;
+    queue.push_back(std::move(req));
+    note_depth_locked();
+    cv.notify_all();
+    return ticket;
+  }
+
+  /// Resolve a request as kRejected (mu held; synchronous with submit).
+  void reject(std::unique_ptr<Request> req, ErrorCode code,
+              const std::string& msg) {
+    ++rejected;
+    ServeMetrics::get().rejected->inc();
+    Response r;
+    r.outcome = Outcome::kRejected;
+    r.code = code;
+    r.message = msg;
+    req->promise.set_value(std::move(r));
+  }
+
+  void note_depth_locked() {
+    const long long depth = static_cast<long long>(queue.size());
+    ServeMetrics& m = ServeMetrics::get();
+    m.queue_depth->set(depth);
+    m.queue_depth_hwm->update_max(depth);
+    depth_hwm = std::max(depth_hwm, depth);
+  }
+
+  // ---- dispatcher ----------------------------------------------------
+
+  void run() {
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+      cv.wait(lk, [&] { return !queue.empty() || stopping; });
+      if (queue.empty()) break;  // stopping and nothing left to resolve
+
+      // Coalesce window: give same-bucket peers a moment to arrive so a
+      // burst becomes one planner pass + one eigh_batched dispatch. Cut
+      // short by a full batch, drain, or shutdown.
+      if (opts.coalesce_window_ms > 0.0 && !draining) {
+        const auto window_end =
+            queue.front()->submitted_at +
+            std::chrono::microseconds(
+                static_cast<long long>(opts.coalesce_window_ms * 1e3));
+        cv.wait_until(lk, window_end, [&] {
+          return static_cast<int>(queue.size()) >= opts.max_batch ||
+                 draining || stopping;
+        });
+      }
+
+      std::vector<std::unique_ptr<Request>> batch;
+      const int take =
+          std::min<int>(opts.max_batch, static_cast<int>(queue.size()));
+      const index_t depth_at_dispatch = static_cast<index_t>(queue.size());
+      for (int i = 0; i < take; ++i) {
+        std::unique_ptr<Request> r = std::move(queue.front());
+        queue.pop_front();
+        const index_t n = r->a.rows();
+        queued_bytes -= static_cast<long long>(n) * n * 8;
+        batch.push_back(std::move(r));
+      }
+      in_flight += take;
+      note_depth_locked();
+
+      lk.unlock();
+      process(std::move(batch), depth_at_dispatch);
+      lk.lock();
+
+      if (queue.empty() && in_flight == 0) drain_cv.notify_all();
+    }
+  }
+
+  /// One request's place in a dispatched batch, after triage.
+  struct Slot {
+    std::unique_ptr<Request> req;
+    bool vectors = false;  // effective, post-degrade
+    bool was_degraded = false;
+    double queue_ms = 0.0;
+  };
+
+  /// Solve one dispatched batch: degrade, group by shape bucket, one
+  /// eigh_batched per bucket with the warm shared plan, then walk each
+  /// slot through the retry/breaker ladder.
+  void process(std::vector<std::unique_ptr<Request>> batch,
+               index_t depth_at_dispatch) {
+    ServeMetrics& m = ServeMetrics::get();
+    obs::Span span("serve.batch");
+    span.attr("requests", static_cast<long long>(batch.size()));
+    const Clock::time_point dispatch_tp = Clock::now();
+
+    std::vector<Slot> slots;
+    slots.reserve(batch.size());
+
+    // Per-request triage: expire, degrade, or enqueue for the bucket solve.
+    // `serve_request` fires here — a simulated transient failure of the
+    // request's first attempt, sending it straight to the retry rung.
+    std::map<std::string, std::vector<std::size_t>> groups;
+    for (auto& req : batch) {
+      Slot s;
+      s.queue_ms = ms_between(req->submitted_at, dispatch_tp);
+      s.vectors = req->ropts.vectors;
+      if (req->token->stop_requested()) {
+        const bool probe = req->probe;
+        fail(std::move(req), ErrorCode::kCancelled,
+             "serve: deadline expired before solve", s.queue_ms, 0.0, 0,
+             probe);
+        continue;
+      }
+      if (s.vectors && opts.allow_degraded && req->ropts.allow_degraded) {
+        const bool pressure = opts.degrade_queue_depth > 0 &&
+                              depth_at_dispatch > opts.degrade_queue_depth;
+        bool deadline_pressure = false;
+        if (req->ropts.deadline_ms > 0.0) {
+          const double expect = expected_vectors_ms(req->a.rows());
+          deadline_pressure =
+              expect > 0.0 && req->token->remaining_ms() < expect;
+        }
+        if (pressure || deadline_pressure) {
+          s.vectors = false;
+          s.was_degraded = true;
+        }
+      }
+      const std::string key = plan::cache_key(plan::ProblemShape{
+          std::max<index_t>(req->a.rows(), 1), s.vectors, 0});
+      s.req = std::move(req);
+      if (fault::should_fire("serve_request")) {
+        // Transient first-attempt failure: take the retry ladder solo.
+        retry_or_fail(std::move(s), key, ErrorCode::kFaultInjected,
+                      "serve: fault injected in request solve "
+                      "(serve_request)");
+        continue;
+      }
+      slots.push_back(std::move(s));
+      groups[key].push_back(slots.size() - 1);
+    }
+
+    // One eigh_batched per shape bucket, every problem sharing the
+    // bucket's warm plan and carrying its own cancellation token.
+    for (auto& [key, idxs] : groups) {
+      const plan::Plan* plan = warm_plan(key, slots[idxs[0]].vectors,
+                                         slots[idxs[0]].req->a.rows());
+      eig::BatchOptions bopts;
+      bopts.vectors = slots[idxs[0]].vectors;
+      bopts.plan = opts.plan;
+      bopts.solver = opts.solver;
+      bopts.check_finite = opts.check_finite;
+      bopts.threads = opts.threads;
+      bopts.shared_plan = plan;
+      std::vector<ConstMatrixView> views;
+      views.reserve(idxs.size());
+      bopts.tokens.reserve(idxs.size());
+      for (const std::size_t i : idxs) {
+        views.push_back(slots[i].req->a.view());
+        bopts.tokens.push_back(slots[i].req->token.get());
+      }
+      ++batches;
+      m.batches->inc();
+      const eig::BatchResult br = eig::eigh_batched(views, bopts);
+      const double per_problem_ms =
+          br.seconds * 1e3 / static_cast<double>(idxs.size());
+
+      for (std::size_t j = 0; j < idxs.size(); ++j) {
+        Slot& s = slots[idxs[j]];
+        const double solve_ms = ms_between(dispatch_tp, Clock::now());
+        if (br.status[j].ok) {
+          if (s.vectors) note_vectors_ms(key, per_problem_ms);
+          succeed(std::move(s.req), eig::EvdResult(br.results[j]),
+                  s.was_degraded, s.queue_ms, solve_ms, 0);
+        } else if (br.status[j].code == ErrorCode::kCancelled) {
+          const bool probe = s.req->probe;
+          fail(std::move(s.req), ErrorCode::kCancelled, br.status[j].message,
+               s.queue_ms, solve_ms, 0, probe);
+        } else if (transient(br.status[j].code)) {
+          retry_or_fail(std::move(s), key, br.status[j].code,
+                        br.status[j].message);
+        } else {
+          const bool probe = s.req->probe;
+          breaker_failure(s.req->admit_key, probe);
+          fail(std::move(s.req), br.status[j].code, br.status[j].message,
+               s.queue_ms, solve_ms, 0, probe);
+        }
+      }
+    }
+  }
+
+  /// The retry rung: jittered backoff, then a solo re-solve under the same
+  /// token and bucket plan (bitwise-identical configuration to the batch
+  /// slot). A second transient failure beyond max_retries, or any
+  /// non-transient one, drops to the failure rung.
+  void retry_or_fail(Slot&& s, const std::string& key, ErrorCode first_code,
+                     const std::string& first_msg) {
+    ServeMetrics& m = ServeMetrics::get();
+    ErrorCode code = first_code;
+    std::string msg = first_msg;
+    const Clock::time_point t0 = Clock::now();
+    while (s.req->retries < opts.max_retries) {
+      ++s.req->retries;
+      ++retries;
+      m.retries->inc();
+      backoff();
+      if (s.req->token->stop_requested()) {
+        code = ErrorCode::kCancelled;
+        msg = "serve: deadline expired before retry";
+        break;
+      }
+      // A persistently-armed serve_request site fails the retry too, so
+      // the injection matrix can walk a request all the way down the
+      // ladder instead of always being rescued by the first retry.
+      if (fault::should_fire("serve_request")) {
+        code = ErrorCode::kFaultInjected;
+        msg = "serve: fault injected in retry solve (serve_request)";
+        continue;
+      }
+      try {
+        const plan::Plan* plan = warm_plan(key, s.vectors, s.req->a.rows());
+        eig::EvdOptions popt;
+        popt.vectors = s.vectors;
+        popt.solver = opts.solver;
+        popt.tridiag.threads = 1;
+        popt.tridiag.bc_threads = 1;
+        popt.check_finite = opts.check_finite;
+        cancel::Scope scope(s.req->token.get());
+        eig::EvdResult r = eig::eigh(s.req->a.view(), popt, *plan);
+        const double solve_ms = ms_between(t0, Clock::now());
+        const int used = s.req->retries;
+        succeed(std::move(s.req), std::move(r), s.was_degraded, s.queue_ms,
+                solve_ms, used);
+        return;
+      } catch (const Error& err) {
+        code = err.code();
+        msg = err.what();
+        if (!transient(code)) break;
+      } catch (const std::exception& err) {
+        code = ErrorCode::kUnknown;
+        msg = err.what();
+        break;
+      }
+    }
+    const double solve_ms = ms_between(t0, Clock::now());
+    const bool probe = s.req->probe;
+    const int used = s.req->retries;
+    if (code != ErrorCode::kCancelled) {
+      breaker_failure(s.req->admit_key, probe);
+    }
+    fail(std::move(s.req), code, msg, s.queue_ms, solve_ms, used, probe);
+  }
+
+  void backoff() {
+    double jitter;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      jitter = jitter_dist(rng);
+    }
+    const double ms = opts.retry_backoff_ms * jitter;
+    if (ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<long long>(ms * 1e3)));
+    }
+  }
+
+  // ---- resolution ----------------------------------------------------
+
+  void succeed(std::unique_ptr<Request> req, eig::EvdResult&& result,
+               bool was_degraded, double queue_ms, double solve_ms,
+               int used_retries) {
+    ServeMetrics& m = ServeMetrics::get();
+    breaker_success(req->admit_key, req->probe);
+    Response r;
+    r.outcome = was_degraded ? Outcome::kDegraded : Outcome::kCompleted;
+    r.result = std::move(result);
+    r.queue_ms = queue_ms;
+    r.solve_ms = solve_ms;
+    r.retries = used_retries;
+    const double latency = ms_between(req->submitted_at, Clock::now());
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (was_degraded) {
+        ++degraded;
+      } else {
+        ++completed;
+      }
+      latencies_ms.push_back(latency);
+      --in_flight;
+      if (queue.empty() && in_flight == 0) drain_cv.notify_all();
+    }
+    (was_degraded ? m.degraded : m.completed)->inc();
+    m.latency_us->record(static_cast<long long>(latency * 1e3));
+    req->promise.set_value(std::move(r));
+  }
+
+  void fail(std::unique_ptr<Request> req, ErrorCode code,
+            const std::string& msg, double queue_ms, double solve_ms,
+            int used_retries, bool was_probe) {
+    ServeMetrics& m = ServeMetrics::get();
+    if (was_probe) release_probe(req->admit_key);
+    Response r;
+    r.outcome = Outcome::kFailed;
+    r.code = code;
+    r.message = msg;
+    r.queue_ms = queue_ms;
+    r.solve_ms = solve_ms;
+    r.retries = used_retries;
+    const double latency = ms_between(req->submitted_at, Clock::now());
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ++failed;
+      if (code == ErrorCode::kCancelled) ++deadline_failures;
+      latencies_ms.push_back(latency);
+      --in_flight;
+      if (queue.empty() && in_flight == 0) drain_cv.notify_all();
+    }
+    m.failed->inc();
+    if (code == ErrorCode::kCancelled) m.deadline_failures->inc();
+    m.latency_us->record(static_cast<long long>(latency * 1e3));
+    req->promise.set_value(std::move(r));
+  }
+
+  // ---- breaker / plan / ewma (mu) ------------------------------------
+
+  void breaker_success(const std::string& key, bool was_probe) {
+    std::lock_guard<std::mutex> lk(mu);
+    Breaker& b = breakers[key];
+    b.consecutive = 0;
+    b.open = false;
+    if (was_probe) b.probing = false;
+  }
+
+  void breaker_failure(const std::string& key, bool was_probe) {
+    ServeMetrics& m = ServeMetrics::get();
+    std::lock_guard<std::mutex> lk(mu);
+    Breaker& b = breakers[key];
+    if (was_probe) {
+      // Failed half-open probe: reopen for another full window.
+      b.probing = false;
+      b.open = true;
+      b.open_until = Clock::now() + std::chrono::microseconds(static_cast<
+                         long long>(opts.breaker_open_ms * 1e3));
+      ++breaker_trips;
+      m.breaker_trips->inc();
+      return;
+    }
+    ++b.consecutive;
+    if (!b.open && opts.breaker_threshold > 0 &&
+        b.consecutive >= opts.breaker_threshold) {
+      b.open = true;
+      b.open_until = Clock::now() + std::chrono::microseconds(static_cast<
+                         long long>(opts.breaker_open_ms * 1e3));
+      ++breaker_trips;
+      m.breaker_trips->inc();
+    }
+  }
+
+  /// A cancelled probe neither closes nor reopens the breaker — it just
+  /// frees the probe slot so the next request can probe.
+  void release_probe(const std::string& key) {
+    std::lock_guard<std::mutex> lk(mu);
+    breakers[key].probing = false;
+  }
+
+  /// The bucket's shared plan, resolved once (one planner pass per bucket
+  /// for the life of the service) and reused warm by every batch.
+  const plan::Plan* warm_plan(const std::string& key, bool vectors,
+                              index_t n) {
+    std::lock_guard<std::mutex> lk(mu);
+    auto it = plans.find(key);
+    if (it == plans.end()) {
+      eig::BatchOptions bopts;
+      bopts.vectors = vectors;
+      bopts.plan = opts.plan;
+      it = plans.emplace(key, eig::batch_bucket_plan(n, bopts)).first;
+    }
+    return &it->second;
+  }
+
+  double expected_vectors_ms(index_t n) {
+    const std::string key = plan::cache_key(
+        plan::ProblemShape{std::max<index_t>(n, 1), true, 0});
+    std::lock_guard<std::mutex> lk(mu);
+    const auto it = solve_ewma_ms.find(key);
+    return it == solve_ewma_ms.end() ? 0.0 : it->second;
+  }
+
+  void note_vectors_ms(const std::string& key, double ms) {
+    std::lock_guard<std::mutex> lk(mu);
+    double& e = solve_ewma_ms[key];
+    e = e == 0.0 ? ms : 0.7 * e + 0.3 * ms;
+  }
+
+  // ---- drain / stats -------------------------------------------------
+
+  bool drain(double timeout_ms) {
+    std::unique_lock<std::mutex> lk(mu);
+    draining = true;
+    cv.notify_all();
+    const auto done = [&] { return queue.empty() && in_flight == 0; };
+    if (timeout_ms <= 0.0) {
+      drain_cv.wait(lk, done);
+      return true;
+    }
+    return drain_cv.wait_for(
+        lk,
+        std::chrono::microseconds(static_cast<long long>(timeout_ms * 1e3)),
+        done);
+  }
+
+  ServeStats stats() const {
+    ServeStats s;
+    std::vector<double> lat;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      s.submitted = submitted;
+      s.admitted = admitted;
+      s.rejected = rejected;
+      s.completed = completed;
+      s.degraded = degraded;
+      s.failed = failed;
+      s.retries = retries;
+      s.breaker_trips = breaker_trips;
+      s.batches = batches;
+      s.deadline_failures = deadline_failures;
+      s.queue_depth = static_cast<long long>(queue.size());
+      s.queue_depth_hwm = depth_hwm;
+      lat = latencies_ms;
+    }
+    if (!lat.empty()) {
+      std::sort(lat.begin(), lat.end());
+      const auto pct = [&](double p) {
+        const std::size_t i = static_cast<std::size_t>(
+            p * static_cast<double>(lat.size() - 1) + 0.5);
+        return lat[std::min(i, lat.size() - 1)];
+      };
+      s.p50_ms = pct(0.50);
+      s.p95_ms = pct(0.95);
+      s.p99_ms = pct(0.99);
+    }
+    return s;
+  }
+
+  // ---- state ---------------------------------------------------------
+
+  const ServeOptions opts;
+  mutable std::mutex mu;
+  std::condition_variable cv;        // queue activity / shutdown
+  std::condition_variable drain_cv;  // queue empty and nothing in flight
+  std::deque<std::unique_ptr<Request>> queue;
+  long long queued_bytes = 0;
+  int in_flight = 0;  // popped, not yet resolved
+  bool draining = false;
+  bool stopping = false;
+
+  long long submitted = 0;
+  long long admitted = 0;
+  long long rejected = 0;
+  long long completed = 0;
+  long long degraded = 0;
+  long long failed = 0;
+  long long retries = 0;
+  long long breaker_trips = 0;
+  long long batches = 0;
+  long long deadline_failures = 0;
+  long long depth_hwm = 0;
+  std::vector<double> latencies_ms;
+
+  std::map<std::string, Breaker> breakers;
+  std::map<std::string, plan::Plan> plans;
+  std::map<std::string, double> solve_ewma_ms;  // vectors solves, per bucket
+
+  // Deterministic backoff jitter (fixed seed: reproducible schedules).
+  std::mt19937 rng{0x5eedu};
+  std::uniform_real_distribution<double> jitter_dist{0.5, 1.5};
+
+  std::thread dispatcher;
+};
+
+ServeCore::ServeCore(const ServeOptions& opts) {
+  TDG_CHECK(opts.queue_capacity >= 1, "serve: queue_capacity must be >= 1");
+  TDG_CHECK(opts.max_batch >= 1, "serve: max_batch must be >= 1");
+  impl_ = std::make_unique<Impl>(opts);
+}
+
+ServeCore::~ServeCore() = default;
+
+Ticket ServeCore::submit(Matrix a, const RequestOptions& ropts) {
+  return impl_->submit(std::move(a), ropts);
+}
+
+bool ServeCore::drain(double timeout_ms) { return impl_->drain(timeout_ms); }
+
+ServeStats ServeCore::stats() const { return impl_->stats(); }
+
+const ServeOptions& ServeCore::options() const { return impl_->opts; }
+
+}  // namespace tdg::serve

@@ -1,0 +1,54 @@
+// Line protocol for the EVD service front end — parsing and formatting
+// only, no I/O, so the protocol is unit-testable without sockets
+// (tests/serve_test.cc) and reusable by any transport
+// (examples/serve_main.cc wraps it in POSIX TCP).
+//
+// Requests, one per line, space-separated key=value fields after a verb:
+//
+//   solve id=<n> n=<dim> [vectors=0|1] [deadline_ms=<ms>] [degrade=0|1]
+//         [seed=<u64>]
+//       Solve one synthetic symmetric problem: the matrix is generated
+//       server-side from `seed` (la::random_symmetric, deterministic), so
+//       the protocol stays line-oriented — a benchmarking/acceptance
+//       front end, not a bulk-data plane.
+//   stats    — one stats line
+//   drain    — stop admitting, resolve everything queued, then ack
+//   quit     — close this connection
+//
+// Responses, one line per request:
+//
+//   ok id=<n> outcome=completed|degraded n=<dim> w_min=<v> w_max=<v>
+//      queue_ms=<v> solve_ms=<v> retries=<k>
+//   err id=<n> outcome=rejected|failed code=<error-code> msg="..."
+//   stats {...ServeStats as a JSON object...}
+//   bye
+#pragma once
+
+#include <string>
+
+#include "serve/serve.h"
+
+namespace tdg::serve::wire {
+
+/// A parsed request line.
+struct ParsedRequest {
+  enum Kind { kSolve, kStats, kDrain, kQuit, kBad };
+  Kind kind = kBad;
+  long long id = 0;                // client-chosen correlation id
+  index_t n = 0;                   // problem size (kSolve)
+  unsigned long long seed = 1;     // matrix-synthesis seed (kSolve)
+  RequestOptions opts;             // vectors / deadline_ms / degrade
+  std::string error;               // parse diagnostic (kBad)
+};
+
+/// Parse one request line (newline-free). Never throws; malformed input
+/// yields kBad with a diagnostic.
+ParsedRequest parse_line(const std::string& line);
+
+/// Format a resolved response for request `id` (no trailing newline).
+std::string format_response(long long id, const Response& r);
+
+/// Format a stats line (no trailing newline).
+std::string format_stats(const ServeStats& s);
+
+}  // namespace tdg::serve::wire

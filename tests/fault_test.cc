@@ -26,6 +26,7 @@
 #include "obs/metrics.h"
 #include "plan/plan.h"
 #include "plan/plan_cache.h"
+#include "serve/serve.h"
 #include "sbr/sbr.h"
 
 namespace tdg {
@@ -681,6 +682,49 @@ TEST(FaultEnv, BatchedIsolatesInjectedFailures) {
   }
   EXPECT_EQ(failed, res.failed);
   EXPECT_EQ(ok + failed, res.problems);
+}
+
+// Environment-armed serve sites (serve_admit / serve_request, the CI fault
+// matrix rows): whatever fires, the service never crashes, every request
+// resolves to exactly one outcome, and drain completes.
+TEST(FaultEnv, ServeAccountsEveryRequestUnderInjection) {
+  serve::ServeOptions sopts;
+  sopts.coalesce_window_ms = 1.0;
+  serve::ServeCore core(sopts);
+
+  constexpr int kRequests = 12;
+  const index_t sizes[] = {48, 64, 96};
+  std::vector<serve::Ticket> tickets;
+  for (int i = 0; i < kRequests; ++i) {
+    Rng rng(static_cast<std::uint64_t>(40 + i));
+    tickets.push_back(
+        core.submit(random_symmetric(sizes[i % 3], rng)));
+  }
+  ASSERT_TRUE(core.drain(/*timeout_ms=*/120000.0));
+
+  int completed = 0, degraded = 0, rejected = 0, failed = 0;
+  for (auto& t : tickets) {
+    const serve::Response r = t.response.get();
+    switch (r.outcome) {
+      case serve::Outcome::kCompleted: ++completed; break;
+      case serve::Outcome::kDegraded: ++degraded; break;
+      case serve::Outcome::kRejected:
+        ++rejected;
+        EXPECT_EQ(r.code, ErrorCode::kOverloaded);
+        break;
+      case serve::Outcome::kFailed:
+        ++failed;
+        EXPECT_NE(r.code, ErrorCode::kUnknown);
+        std::printf("request failed as %s: %s\n", to_string(r.code),
+                    r.message.c_str());
+        break;
+    }
+  }
+  EXPECT_EQ(completed + degraded + rejected + failed, kRequests);
+  const serve::ServeStats s = core.stats();
+  EXPECT_EQ(s.submitted, kRequests);
+  EXPECT_TRUE(s.accounted());
+  EXPECT_EQ(s.queue_depth, 0);
 }
 
 }  // namespace

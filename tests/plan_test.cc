@@ -9,6 +9,13 @@
 #include <fstream>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -375,6 +382,137 @@ TEST(PlanModes, MeasureModeEndToEnd) {
     EXPECT_EQ(r1.eigenvalues[i], r2.eigenvalues[i]);
   }
 }
+
+// Exact merged-entry accounting: merged_entries counts disk entries adopted
+// over (or absent from) memory, not a guess from size deltas.
+TEST(PlanCacheContention, MergedEntriesCountsDiskAdoptionsExactly) {
+  const std::string path = temp_path("plan_cache_merged_exact.json");
+  std::remove(path.c_str());
+
+  plan::PlanCache a;
+  a.insert("bucket_a", sample_plan(0.5));
+  ASSERT_TRUE(a.save(path));
+  // First save: the file did not exist, nothing adopted from disk.
+  EXPECT_EQ(a.stats().merged_entries, 0);
+
+  // b's save re-merges with the file: bucket_a comes from disk (adopted),
+  // bucket_b comes from memory (not counted).
+  plan::PlanCache b;
+  b.insert("bucket_b", sample_plan(0.5));
+  ASSERT_TRUE(b.save(path));
+  EXPECT_EQ(b.stats().merged_entries, 1);
+
+  // A memory entry strictly better than the disk copy wins the re-merge:
+  // the disk copy is NOT adopted.
+  plan::PlanCache c;
+  c.insert("bucket_a", sample_plan(0.1));  // better than disk's 0.5
+  c.insert("bucket_c", sample_plan(0.5));
+  ASSERT_TRUE(c.save(path));
+  EXPECT_EQ(c.stats().merged_entries, 1);  // bucket_b only
+
+  // load() also counts exactly: two disk entries improve on / are absent
+  // from memory, one (bucket_a, worse on disk) does not.
+  plan::PlanCache d;
+  d.insert("bucket_a", sample_plan(0.05));
+  ASSERT_TRUE(d.load(path));
+  EXPECT_EQ(d.stats().merged_entries, 2);  // bucket_b + bucket_c
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+// Cross-process contention: a child holding <path>.lock makes the parent's
+// save() block, and the blocking wait is counted in lock_waits.
+TEST(PlanCacheContention, LockWaitsCountsCrossProcessContention) {
+  const std::string path = temp_path("plan_cache_lock_waits.json");
+  const std::string lock_path = path + ".lock";
+  std::remove(path.c_str());
+  std::remove(lock_path.c_str());
+
+  int ready_pipe[2];
+  ASSERT_EQ(::pipe(ready_pipe), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: take the flock, signal readiness, hold it briefly, exit
+    // (releasing the lock and unblocking the parent's save).
+    ::close(ready_pipe[0]);
+    const int fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
+    if (fd < 0 || ::flock(fd, LOCK_EX) != 0) _exit(2);
+    char byte = 'r';
+    if (::write(ready_pipe[1], &byte, 1) != 1) _exit(3);
+    ::usleep(200 * 1000);
+    _exit(0);
+  }
+  ::close(ready_pipe[1]);
+  char byte = 0;
+  ASSERT_EQ(::read(ready_pipe[0], &byte, 1), 1);  // child holds the lock
+  ::close(ready_pipe[0]);
+
+  plan::PlanCache cache;
+  cache.insert("contended_key", sample_plan(0.5));
+  ASSERT_TRUE(cache.save(path));  // blocks until the child exits
+  EXPECT_EQ(cache.stats().lock_waits, 1);
+  EXPECT_EQ(cache.stats().saves, 1);
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_EQ(status, 0);
+
+  // Uncontended saves do not count.
+  ASSERT_TRUE(cache.save(path));
+  EXPECT_EQ(cache.stats().lock_waits, 1);
+  std::remove(path.c_str());
+  std::remove(lock_path.c_str());
+}
+
+// Two processes saving distinct keys to one file concurrently: the
+// flock + read-merge-rename protocol must lose neither.
+TEST(PlanCacheContention, ConcurrentForkedSavesLoseNoUpdates) {
+  const std::string path = temp_path("plan_cache_fork_merge.json");
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+
+  constexpr int kChildren = 2;
+  constexpr int kRounds = 5;
+  pid_t pids[kChildren];
+  for (int c = 0; c < kChildren; ++c) {
+    pids[c] = ::fork();
+    ASSERT_GE(pids[c], 0);
+    if (pids[c] == 0) {
+      for (int r = 0; r < kRounds; ++r) {
+        plan::PlanCache mine;
+        mine.insert("child_" + std::to_string(c) + "_round_" +
+                        std::to_string(r),
+                    sample_plan(0.5));
+        if (!mine.save(path)) _exit(4);
+      }
+      _exit(0);
+    }
+  }
+  for (int c = 0; c < kChildren; ++c) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pids[c], &status, 0), pids[c]);
+    EXPECT_EQ(status, 0) << "child " << c;
+  }
+
+  plan::PlanCache merged;
+  ASSERT_TRUE(merged.load(path));
+  EXPECT_EQ(merged.size(), static_cast<std::size_t>(kChildren * kRounds));
+  for (int c = 0; c < kChildren; ++c) {
+    for (int r = 0; r < kRounds; ++r) {
+      plan::Plan got;
+      EXPECT_TRUE(merged.lookup(
+          "child_" + std::to_string(c) + "_round_" + std::to_string(r), &got))
+          << "lost update from child " << c << " round " << r;
+    }
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+#endif  // __unix__ || __APPLE__
 
 }  // namespace
 }  // namespace tdg

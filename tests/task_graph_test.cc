@@ -4,7 +4,10 @@
 // fault site, and the run statistics.
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -198,6 +201,55 @@ TEST(TaskGraph, StatsAccounting) {
   EXPECT_LE(s.overlap_us, s.busy_us + 1.0);
   EXPECT_GE(s.overlap_fraction(), 0.0);
   EXPECT_LE(s.overlap_fraction(), 1.0);
+}
+
+TEST(TaskGraph, DrainWatchdogThrowsTypedStallNamingTheNode) {
+  ThreadLimit scope(2);
+  // Shared-ownership sync state: the wedged body may still be blocked (or
+  // may never run at all once the watchdog poisons the graph) when this
+  // test frame unwinds, so it must not reference the test's stack.
+  struct Wedge {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+  };
+  auto wedge = std::make_shared<Wedge>();
+  TaskGraph g;
+  g.set_stall_timeout_ms(100);  // fast test; production default is the
+                                // TDG_SPIN_TIMEOUT_MS deadline
+  g.add("t.wedged", NodeClass::kPooled, [wedge] {
+    std::unique_lock<std::mutex> lk(wedge->mu);
+    wedge->cv.wait(lk, [&] { return wedge->release; });
+  });
+  // Keep the driver thread busy long enough for a pool worker to claim the
+  // wedged node — an idle driver helps with ready pooled work itself, and
+  // the watchdog only arms once the driver is actually waiting.
+  g.add("t.driver_busy", NodeClass::kDriver,
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(200)); });
+  try {
+    g.run();
+    FAIL() << "expected kPipelineStall from the drain watchdog";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kPipelineStall);
+    EXPECT_NE(std::string(e.what()).find("t.wedged"), std::string::npos);
+    EXPECT_STREQ(e.context().stage, "task_graph");
+    EXPECT_EQ(e.context().index, 0);  // first unfinished node id
+  }
+  // Unwedge so a blocked pool worker (if the body did start) exits.
+  {
+    std::lock_guard<std::mutex> lk(wedge->mu);
+    wedge->release = true;
+  }
+  wedge->cv.notify_all();
+}
+
+TEST(TaskGraph, WatchdogDisabledAllowsSlowNodes) {
+  ThreadLimit scope(2);
+  TaskGraph g;
+  g.set_stall_timeout_ms(0);  // 0 disables the watchdog entirely
+  g.add("t.slow", NodeClass::kPooled,
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+  EXPECT_EQ(g.run().nodes_run, 1);
 }
 
 TEST(TaskGraph, RunTwiceIsAnError) {
