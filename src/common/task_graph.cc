@@ -318,13 +318,28 @@ TaskGraph::Stats TaskGraph::run() {
         }
         st->failed = true;  // cancel everything not yet started
         st->cv.notify_all();
+        // Bounded drain before throwing: node bodies reference
+        // caller-owned matrices and workspaces, so unwinding while one is
+        // still executing would free memory under a live body (a
+        // slow-but-alive node on an oversubscribed machine). Poisoning
+        // makes unstarted nodes cancel quickly; give the bodies already
+        // in flight one more deadline window to return. A body still
+        // running after that is genuinely wedged and is abandoned — the
+        // documented unrescuable case, named in the error.
+        st->cv.wait_for(lk, std::chrono::milliseconds(stall_ms),
+                        [&] { return st->in_flight == 0; });
+        const int abandoned = st->in_flight;
         lk.unlock();
         GraphMetrics::get().stalls->inc();
         throw Error(ErrorCode::kPipelineStall,
                     "task_graph: drain made no progress for " +
                         std::to_string(stall_ms) +
                         " ms (TDG_SPIN_TIMEOUT_MS); first unfinished node " +
-                        std::to_string(wedged) + " '" + wedged_name + "'",
+                        std::to_string(wedged) + " '" + wedged_name + "'" +
+                        (abandoned > 0
+                             ? "; " + std::to_string(abandoned) +
+                                   " in-flight node bodies abandoned"
+                             : ""),
                     {"task_graph", wedged, -1});
       } else {
         st->idle_us += obs::now_us() - t0;

@@ -37,9 +37,16 @@
 //    for a whole deadline window — a worker that never returns, or a node
 //    that never becomes ready — the run poisons the graph (unstarted nodes
 //    are cancelled, never executed) and throws Error(kPipelineStall) naming
-//    the first unfinished node, instead of hanging the driver thread. As
-//    with a chase-gate stall, the diagnosis is for clean termination: an
-//    in-flight body that is genuinely wedged cannot be rescued.
+//    the first unfinished node, instead of hanging the driver thread.
+//    Before throwing, the run waits one more deadline window for bodies
+//    already in flight to return, so a slow-but-alive node does not end up
+//    executing over caller memory freed by the unwind. As with a
+//    chase-gate stall, the diagnosis is for clean termination: an
+//    in-flight body that is genuinely wedged cannot be rescued — it is
+//    abandoned (and counted in the error message), which is why callers
+//    must treat a drain-watchdog kPipelineStall as non-recoverable rather
+//    than retrying in the same process (the serve layer does not class it
+//    as transient).
 //  * Observability. Each executed node records an obs::Span under its
 //    name (must be a string literal — spans keep the pointer), and a run
 //    feeds the taskgraph.* registry metrics (docs/ALGORITHMS.md §12).

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <random>
@@ -81,9 +82,12 @@ struct Breaker {
 /// Transient failure classes that earn a retry instead of failing the
 /// request outright. kCancelled is deliberately absent (retrying past a
 /// deadline is never useful), as is kInvalidInput (deterministic).
+/// kPipelineStall is also excluded: a drain stall may have abandoned a
+/// genuinely wedged in-flight worker (task_graph.h drain watchdog), so
+/// re-entering the solver in the same process is not safe — a stall fails
+/// typed to the caller instead.
 bool transient(ErrorCode code) {
-  return code == ErrorCode::kFaultInjected ||
-         code == ErrorCode::kPipelineStall;
+  return code == ErrorCode::kFaultInjected;
 }
 
 }  // namespace
@@ -112,6 +116,7 @@ struct ServeCore::Impl {
 
   explicit Impl(const ServeOptions& o) : opts(o) {
     dispatcher = std::thread([this] { run(); });
+    retry_worker = std::thread([this] { retry_loop(); });
   }
 
   ~Impl() {
@@ -121,7 +126,13 @@ struct ServeCore::Impl {
       stopping = true;
     }
     cv.notify_all();
-    dispatcher.join();
+    dispatcher.join();  // drains the queue (may enqueue retry jobs)
+    {
+      std::lock_guard<std::mutex> lk(retry_mu);
+      retry_stop = true;
+    }
+    retry_cv.notify_all();
+    retry_worker.join();  // runs every remaining retry to resolution
   }
 
   // ---- admission (caller thread) -------------------------------------
@@ -264,18 +275,54 @@ struct ServeCore::Impl {
     double queue_ms = 0.0;
   };
 
-  /// Solve one dispatched batch: degrade, group by shape bucket, one
-  /// eigh_batched per bucket with the warm shared plan, then walk each
-  /// slot through the retry/breaker ladder.
+  /// Solve one dispatched batch. Never lets an exception escape to the
+  /// dispatcher thread (which would std::terminate the process and leave
+  /// the batch's promises unresolved): a batch-level throw — planner
+  /// failure, eigh_batched misuse, std::bad_alloc — resolves every
+  /// still-unresolved request in the batch with the typed error, keeping
+  /// the exactly-once accounting and the dispatcher alive.
   void process(std::vector<std::unique_ptr<Request>> batch,
                index_t depth_at_dispatch) {
+    std::vector<Slot> slots;
+    slots.reserve(batch.size());
+    try {
+      process_batch(batch, slots, depth_at_dispatch);
+    } catch (...) {
+      ErrorCode code = ErrorCode::kUnknown;
+      std::string msg = "serve: batch dispatch failed";
+      try {
+        throw;
+      } catch (const Error& err) {
+        code = err.code();
+        msg = err.what();
+      } catch (const std::exception& err) {
+        msg = std::string("serve: batch dispatch failed: ") + err.what();
+      } catch (...) {
+      }
+      for (Slot& s : slots) {
+        if (!s.req) continue;  // already resolved (or handed to retry)
+        const bool probe = s.req->probe;
+        fail(std::move(s.req), code, msg, s.queue_ms, 0.0, 0, probe);
+      }
+      for (auto& req : batch) {
+        if (!req) continue;  // moved into a slot during triage
+        const bool probe = req->probe;
+        fail(std::move(req), code, msg, 0.0, 0.0, 0, probe);
+      }
+    }
+  }
+
+  /// process() body: degrade, group by shape bucket, one eigh_batched per
+  /// bucket with the warm shared plan, then walk each slot through the
+  /// retry/breaker ladder. Requests move from `batch` into `slots` at
+  /// triage so the caller's backstop can resolve whatever is left on an
+  /// escape at any point.
+  void process_batch(std::vector<std::unique_ptr<Request>>& batch,
+                     std::vector<Slot>& slots, index_t depth_at_dispatch) {
     ServeMetrics& m = ServeMetrics::get();
     obs::Span span("serve.batch");
     span.attr("requests", static_cast<long long>(batch.size()));
     const Clock::time_point dispatch_tp = Clock::now();
-
-    std::vector<Slot> slots;
-    slots.reserve(batch.size());
 
     // Per-request triage: expire, degrade, or enqueue for the bucket solve.
     // `serve_request` fires here — a simulated transient failure of the
@@ -311,7 +358,7 @@ struct ServeCore::Impl {
       s.req = std::move(req);
       if (fault::should_fire("serve_request")) {
         // Transient first-attempt failure: take the retry ladder solo.
-        retry_or_fail(std::move(s), key, ErrorCode::kFaultInjected,
+        enqueue_retry(std::move(s), key, ErrorCode::kFaultInjected,
                       "serve: fault injected in request solve "
                       "(serve_request)");
         continue;
@@ -321,58 +368,126 @@ struct ServeCore::Impl {
     }
 
     // One eigh_batched per shape bucket, every problem sharing the
-    // bucket's warm plan and carrying its own cancellation token.
+    // bucket's warm plan and carrying its own cancellation token. A throw
+    // out of one bucket's planner pass or batch dispatch fails only that
+    // bucket's still-unresolved slots; the other buckets still solve.
     for (auto& [key, idxs] : groups) {
-      const plan::Plan* plan = warm_plan(key, slots[idxs[0]].vectors,
-                                         slots[idxs[0]].req->a.rows());
-      eig::BatchOptions bopts;
-      bopts.vectors = slots[idxs[0]].vectors;
-      bopts.plan = opts.plan;
-      bopts.solver = opts.solver;
-      bopts.check_finite = opts.check_finite;
-      bopts.threads = opts.threads;
-      bopts.shared_plan = plan;
-      std::vector<ConstMatrixView> views;
-      views.reserve(idxs.size());
-      bopts.tokens.reserve(idxs.size());
-      for (const std::size_t i : idxs) {
-        views.push_back(slots[i].req->a.view());
-        bopts.tokens.push_back(slots[i].req->token.get());
-      }
-      ++batches;
-      m.batches->inc();
-      const eig::BatchResult br = eig::eigh_batched(views, bopts);
-      const double per_problem_ms =
-          br.seconds * 1e3 / static_cast<double>(idxs.size());
-
-      for (std::size_t j = 0; j < idxs.size(); ++j) {
-        Slot& s = slots[idxs[j]];
-        const double solve_ms = ms_between(dispatch_tp, Clock::now());
-        if (br.status[j].ok) {
-          if (s.vectors) note_vectors_ms(key, per_problem_ms);
-          succeed(std::move(s.req), eig::EvdResult(br.results[j]),
-                  s.was_degraded, s.queue_ms, solve_ms, 0);
-        } else if (br.status[j].code == ErrorCode::kCancelled) {
-          const bool probe = s.req->probe;
-          fail(std::move(s.req), ErrorCode::kCancelled, br.status[j].message,
-               s.queue_ms, solve_ms, 0, probe);
-        } else if (transient(br.status[j].code)) {
-          retry_or_fail(std::move(s), key, br.status[j].code,
-                        br.status[j].message);
-        } else {
-          const bool probe = s.req->probe;
-          breaker_failure(s.req->admit_key, probe);
-          fail(std::move(s.req), br.status[j].code, br.status[j].message,
-               s.queue_ms, solve_ms, 0, probe);
+      try {
+        const plan::Plan* plan = warm_plan(key, slots[idxs[0]].vectors,
+                                           slots[idxs[0]].req->a.rows());
+        eig::BatchOptions bopts;
+        bopts.vectors = slots[idxs[0]].vectors;
+        bopts.plan = opts.plan;
+        bopts.solver = opts.solver;
+        bopts.check_finite = opts.check_finite;
+        bopts.threads = opts.threads;
+        bopts.shared_plan = plan;
+        std::vector<ConstMatrixView> views;
+        views.reserve(idxs.size());
+        bopts.tokens.reserve(idxs.size());
+        for (const std::size_t i : idxs) {
+          views.push_back(slots[i].req->a.view());
+          bopts.tokens.push_back(slots[i].req->token.get());
         }
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          ++batches;
+        }
+        m.batches->inc();
+        const eig::BatchResult br = eig::eigh_batched(views, bopts);
+        const double per_problem_ms =
+            br.seconds * 1e3 / static_cast<double>(idxs.size());
+
+        for (std::size_t j = 0; j < idxs.size(); ++j) {
+          Slot& s = slots[idxs[j]];
+          const double solve_ms = ms_between(dispatch_tp, Clock::now());
+          if (br.status[j].ok) {
+            if (s.vectors) note_vectors_ms(key, per_problem_ms);
+            succeed(std::move(s.req), eig::EvdResult(br.results[j]),
+                    s.was_degraded, s.queue_ms, solve_ms, 0);
+          } else {
+            route_failure(std::move(s), key, br.status[j].code,
+                          br.status[j].message, solve_ms);
+          }
+        }
+      } catch (const Error& err) {
+        fail_bucket(slots, idxs, key, err.code(), err.what(), dispatch_tp);
+      } catch (const std::exception& err) {
+        fail_bucket(slots, idxs, key, ErrorCode::kUnknown,
+                    std::string("serve: bucket solve failed: ") + err.what(),
+                    dispatch_tp);
       }
+    }
+  }
+
+  /// Route one failed slot down the ladder: cancellation fails alone,
+  /// transient codes go to the retry executor, everything else counts
+  /// against the bucket breaker and fails typed.
+  void route_failure(Slot&& s, const std::string& key, ErrorCode code,
+                     const std::string& msg, double solve_ms) {
+    if (code == ErrorCode::kCancelled) {
+      const bool probe = s.req->probe;
+      fail(std::move(s.req), ErrorCode::kCancelled, msg, s.queue_ms,
+           solve_ms, 0, probe);
+    } else if (transient(code)) {
+      enqueue_retry(std::move(s), key, code, msg);
+    } else {
+      const bool probe = s.req->probe;
+      breaker_failure(s.req->admit_key, probe);
+      fail(std::move(s.req), code, msg, s.queue_ms, solve_ms, 0, probe);
+    }
+  }
+
+  /// A bucket-level failure (the planner pass or eigh_batched itself
+  /// threw): every slot of the bucket not yet resolved takes the same
+  /// ladder a per-slot failure would.
+  void fail_bucket(std::vector<Slot>& slots,
+                   const std::vector<std::size_t>& idxs,
+                   const std::string& key, ErrorCode code,
+                   const std::string& msg, Clock::time_point dispatch_tp) {
+    for (const std::size_t i : idxs) {
+      if (!slots[i].req) continue;
+      route_failure(std::move(slots[i]), key, code, msg,
+                    ms_between(dispatch_tp, Clock::now()));
+    }
+  }
+
+  /// Hand a transient failure to the retry executor so the dispatcher
+  /// keeps draining the queue during the backoff and solo re-solve — one
+  /// retrying request must not head-of-line block every queued request
+  /// behind its backoff sleep. The slot stays accounted as in-flight
+  /// until retry_or_fail resolves it on the executor thread.
+  void enqueue_retry(Slot&& s, const std::string& key, ErrorCode code,
+                     const std::string& msg) {
+    auto sp = std::make_shared<Slot>(std::move(s));
+    std::lock_guard<std::mutex> lk(retry_mu);
+    retry_q.push_back([this, sp, key, code, msg] {
+      retry_or_fail(std::move(*sp), key, code, msg);
+    });
+    retry_cv.notify_one();
+  }
+
+  /// Retry executor thread: runs queued retry jobs to resolution, exits
+  /// only when told to stop (after the dispatcher joined) AND the queue
+  /// is empty, so every handed-off request still resolves exactly once.
+  void retry_loop() {
+    std::unique_lock<std::mutex> lk(retry_mu);
+    for (;;) {
+      retry_cv.wait(lk, [&] { return !retry_q.empty() || retry_stop; });
+      if (retry_q.empty()) return;  // retry_stop and nothing left
+      std::function<void()> job = std::move(retry_q.front());
+      retry_q.pop_front();
+      lk.unlock();
+      job();
+      lk.lock();
     }
   }
 
   /// The retry rung: jittered backoff, then a solo re-solve under the same
   /// token and bucket plan (bitwise-identical configuration to the batch
   /// slot). A second transient failure beyond max_retries, or any
-  /// non-transient one, drops to the failure rung.
+  /// non-transient one, drops to the failure rung. Runs on the retry
+  /// executor thread and never throws (an escape would std::terminate).
   void retry_or_fail(Slot&& s, const std::string& key, ErrorCode first_code,
                      const std::string& first_msg) {
     ServeMetrics& m = ServeMetrics::get();
@@ -381,7 +496,10 @@ struct ServeCore::Impl {
     const Clock::time_point t0 = Clock::now();
     while (s.req->retries < opts.max_retries) {
       ++s.req->retries;
-      ++retries;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        ++retries;
+      }
       m.retries->inc();
       backoff();
       if (s.req->token->stop_requested()) {
@@ -419,6 +537,10 @@ struct ServeCore::Impl {
       } catch (const std::exception& err) {
         code = ErrorCode::kUnknown;
         msg = err.what();
+        break;
+      } catch (...) {
+        code = ErrorCode::kUnknown;
+        msg = "serve: retry solve failed with an untyped exception";
         break;
       }
     }
@@ -465,7 +587,7 @@ struct ServeCore::Impl {
       } else {
         ++completed;
       }
-      latencies_ms.push_back(latency);
+      note_latency_locked(latency);
       --in_flight;
       if (queue.empty() && in_flight == 0) drain_cv.notify_all();
     }
@@ -491,7 +613,7 @@ struct ServeCore::Impl {
       std::lock_guard<std::mutex> lk(mu);
       ++failed;
       if (code == ErrorCode::kCancelled) ++deadline_failures;
-      latencies_ms.push_back(latency);
+      note_latency_locked(latency);
       --in_flight;
       if (queue.empty() && in_flight == 0) drain_cv.notify_all();
     }
@@ -543,19 +665,57 @@ struct ServeCore::Impl {
     breakers[key].probing = false;
   }
 
+  /// One shape bucket's shared plan plus its build state. Lives in a
+  /// node-based map so the address is stable for the life of the service;
+  /// `plan` is immutable once `ready`, so callers may keep the pointer
+  /// without holding the slot mutex.
+  struct PlanSlot {
+    std::mutex m;
+    std::condition_variable cv;
+    bool ready = false;
+    bool building = false;  // a builder runs outside the lock
+    plan::Plan plan;
+  };
+
   /// The bucket's shared plan, resolved once (one planner pass per bucket
-  /// for the life of the service) and reused warm by every batch.
+  /// for the life of the service) and reused warm by every batch. Only
+  /// the map lookup holds the core mutex: the planner pass itself — which
+  /// under PlanMode::kMeasure runs real measured solves — happens under
+  /// the bucket's own build slot, so concurrent submit()/stats()/drain()
+  /// never block on planning and only same-bucket callers wait for it.
   const plan::Plan* warm_plan(const std::string& key, bool vectors,
                               index_t n) {
-    std::lock_guard<std::mutex> lk(mu);
-    auto it = plans.find(key);
-    if (it == plans.end()) {
+    PlanSlot* slot;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      slot = &plans[key];
+    }
+    std::unique_lock<std::mutex> lk(slot->m);
+    for (;;) {
+      if (slot->ready) return &slot->plan;
+      if (!slot->building) break;
+      slot->cv.wait(lk);  // another thread is building this bucket's plan
+    }
+    slot->building = true;
+    lk.unlock();
+    plan::Plan built;
+    try {
       eig::BatchOptions bopts;
       bopts.vectors = vectors;
       bopts.plan = opts.plan;
-      it = plans.emplace(key, eig::batch_bucket_plan(n, bopts)).first;
+      built = eig::batch_bucket_plan(n, bopts);
+    } catch (...) {
+      lk.lock();
+      slot->building = false;  // let the next same-bucket caller retry
+      slot->cv.notify_all();
+      throw;
     }
-    return &it->second;
+    lk.lock();
+    slot->plan = std::move(built);
+    slot->ready = true;
+    slot->building = false;
+    slot->cv.notify_all();
+    return &slot->plan;
   }
 
   double expected_vectors_ms(index_t n) {
@@ -570,6 +730,24 @@ struct ServeCore::Impl {
     std::lock_guard<std::mutex> lk(mu);
     double& e = solve_ewma_ms[key];
     e = e == 0.0 ? ms : 0.7 * e + 0.3 * ms;
+  }
+
+  /// Bounded latency sample (Algorithm R reservoir, deterministic rng):
+  /// exact percentiles until kLatencyReservoir requests have resolved, a
+  /// uniform sample of the whole history after — memory stays flat and
+  /// stats() stays O(capacity) for the long-running-service case. The
+  /// serve.latency_us histogram remains the exact aggregate record.
+  void note_latency_locked(double ms) {
+    ++latency_seen;
+    if (latencies_ms.size() < kLatencyReservoir) {
+      latencies_ms.push_back(ms);
+      return;
+    }
+    std::uniform_int_distribution<long long> pick(0, latency_seen - 1);
+    const long long j = pick(reservoir_rng);
+    if (j < static_cast<long long>(kLatencyReservoir)) {
+      latencies_ms[static_cast<std::size_t>(j)] = ms;
+    }
   }
 
   // ---- drain / stats -------------------------------------------------
@@ -645,17 +823,29 @@ struct ServeCore::Impl {
   long long batches = 0;
   long long deadline_failures = 0;
   long long depth_hwm = 0;
-  std::vector<double> latencies_ms;
+
+  static constexpr std::size_t kLatencyReservoir = 4096;
+  std::vector<double> latencies_ms;  // bounded: note_latency_locked
+  long long latency_seen = 0;
 
   std::map<std::string, Breaker> breakers;
-  std::map<std::string, plan::Plan> plans;
+  std::map<std::string, PlanSlot> plans;
   std::map<std::string, double> solve_ewma_ms;  // vectors solves, per bucket
 
-  // Deterministic backoff jitter (fixed seed: reproducible schedules).
+  // Deterministic backoff jitter and reservoir sampling (fixed seeds:
+  // reproducible schedules and samples).
   std::mt19937 rng{0x5eedu};
   std::uniform_real_distribution<double> jitter_dist{0.5, 1.5};
+  std::mt19937_64 reservoir_rng{0x7e5e70a1ull};
 
   std::thread dispatcher;
+
+  // Retry executor (its own mutex: jobs lock `mu` while resolving).
+  std::mutex retry_mu;
+  std::condition_variable retry_cv;
+  std::deque<std::function<void()>> retry_q;
+  bool retry_stop = false;
+  std::thread retry_worker;
 };
 
 ServeCore::ServeCore(const ServeOptions& opts) {

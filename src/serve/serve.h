@@ -20,9 +20,13 @@
 //                 smaller than the bucket's observed vectors-solve time, a
 //                 vectors request falls back to eigenvalues-only (outcome
 //                 kDegraded) rather than missing its deadline.
-//   retry       — transient failures (kFaultInjected, kPipelineStall)
-//                 retry once (max_retries) with jittered backoff, solo,
-//                 under the same token and bucket plan.
+//   retry       — transient failures (kFaultInjected) retry once
+//                 (max_retries) with jittered backoff, solo, under the
+//                 same token and bucket plan, on a dedicated retry
+//                 executor so the dispatcher keeps draining the queue
+//                 during the backoff. kPipelineStall is deliberately not
+//                 retried: a drain stall may abandon a wedged worker, so
+//                 it fails typed instead.
 //   breaker     — breaker_threshold consecutive non-cancellation failures
 //                 in one shape bucket trip a per-bucket circuit breaker:
 //                 subsequent requests for that bucket are shed at admission
@@ -139,8 +143,10 @@ struct Ticket {
   std::shared_ptr<cancel::Token> token;
 };
 
-/// Service counters (exact; sampled live) and exact latency percentiles of
-/// resolved requests.
+/// Service counters (exact; sampled live) and latency percentiles of
+/// resolved requests, computed over a bounded deterministic reservoir
+/// sample (exact until the reservoir fills, ~4k resolutions; the
+/// serve.latency_us histogram stays the exact aggregate record).
 struct ServeStats {
   long long submitted = 0;
   long long admitted = 0;
