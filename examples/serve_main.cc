@@ -95,6 +95,17 @@ void handle_connection(int fd, serve::ServeCore* core) {
           return;
         }
         break;
+      case serve::wire::ParsedRequest::kMetrics: {
+        // Multi-line payload; its last line is the OpenMetrics "# EOF"
+        // terminator, which clients use as the framing sentinel.
+        std::string text = serve::wire::format_metrics();
+        if (!text.empty() && text.back() == '\n') text.pop_back();
+        if (!send_line(fd, text)) {
+          ::close(fd);
+          return;
+        }
+        break;
+      }
       case serve::wire::ParsedRequest::kDrain: {
         const bool ok = core->drain(/*timeout_ms=*/60000.0);
         if (!send_line(fd, ok ? "drained" : "drain_timeout")) {

@@ -12,6 +12,7 @@
 #include "common/check.h"
 #include "common/fault.h"
 #include "common/thread_pool.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 
@@ -61,6 +62,10 @@ struct TaskGraph::State {
 
   std::mutex mu;
   std::condition_variable cv;  // driver waits here for readiness / drain
+  // Ambient request context of the thread that called run(); installed
+  // around every node body so spans recorded on pool workers are attributed
+  // to the owning request even when the pool interleaves graphs.
+  obs::TraceContext ctx{};
   std::vector<Node> nodes;
   std::deque<int> ready_driver;
   std::deque<int> ready_pooled;
@@ -115,6 +120,7 @@ int execute_node(const std::shared_ptr<TaskGraph::State>& st, int id) {
 
   if (!cancelled) {
     try {
+      obs::ContextScope ctx_scope(st->ctx);
       fault::maybe_inject("taskgraph_node");
       obs::Span span(nd.name);
       span.attr("node", id);
@@ -222,6 +228,8 @@ TaskGraph::Stats TaskGraph::run() {
   // must not block a worker on the pool's own queue).
   const int budget = current_threads();
   const bool serial = total == 0 || budget <= 1 || in_pool_task();
+
+  st->ctx = obs::current_context();
 
   int initial_pooled = 0;
   {
@@ -331,6 +339,15 @@ TaskGraph::Stats TaskGraph::run() {
         const int abandoned = st->in_flight;
         lk.unlock();
         GraphMetrics::get().stalls->inc();
+        // Post-mortem: drop the stall into the flight recorder (tagged with
+        // the graph's owning request) and dump every thread's recent events
+        // so the wedged node and the request it was serving are on disk
+        // before the throw unwinds the pipeline.
+        obs::flight::record(obs::flight::EventKind::kError, "taskgraph.stall",
+                            wedged, abandoned, st->ctx.request_id);
+        obs::flight::dump("taskgraph stall: node " + std::to_string(wedged) +
+                          " '" + wedged_name + "' (request " +
+                          std::to_string(st->ctx.request_id) + ")");
         throw Error(ErrorCode::kPipelineStall,
                     "task_graph: drain made no progress for " +
                         std::to_string(stall_ms) +

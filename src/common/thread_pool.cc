@@ -188,9 +188,16 @@ void ThreadPool::enqueue_locked(std::function<void()> fn) {
 }
 
 void ThreadPool::post(std::function<void()> fn) {
+  // Carry the poster's ambient request context onto the worker: the task
+  // runs as if on the posting thread's flow (task-graph runners inherit the
+  // graph's owning request this way).
+  const obs::TraceContext ctx = obs::current_context();
   {
     std::lock_guard<std::mutex> lk(mu_);
-    enqueue_locked(std::move(fn));
+    enqueue_locked([fn = std::move(fn), ctx] {
+      obs::ContextScope scope(ctx);
+      fn();
+    });
   }
   cv_.notify_one();
 }
@@ -219,10 +226,17 @@ void ThreadPool::parallel_for(index_t begin, index_t end,
   st->fn = &fn;  // the caller blocks until every claimed index completed,
                  // so the reference outlives all uses
   PoolMetrics::get().dispatches->inc();
+  // Helpers adopt the dispatcher's ambient request context: every span a
+  // body records on a pool worker is attributed to the same request as the
+  // caller's inline share.
+  const obs::TraceContext ctx = obs::current_context();
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (int h = 0; h < helpers; ++h) {
-      enqueue_locked([st] { drive(*st); });
+      enqueue_locked([st, ctx] {
+        obs::ContextScope scope(ctx);
+        drive(*st);
+      });
     }
   }
   cv_.notify_all();
@@ -280,10 +294,12 @@ void ThreadPool::run_concurrent(int copies,
   st->fn = &fn;
   st->total = copies - 1;
   PoolMetrics::get().dispatches->inc();
+  const obs::TraceContext ctx = obs::current_context();
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (int c = 1; c < copies; ++c) {
-      enqueue_locked([st, c] {
+      enqueue_locked([st, c, ctx] {
+        obs::ContextScope scope(ctx);
         try {
           (*st->fn)(c);
         } catch (...) {

@@ -126,6 +126,10 @@ BatchResult eigh_batched(const std::vector<ConstMatrixView>& problems,
   if (b_count == 0) return res;
   TDG_CHECK(opts.tokens.empty() || opts.tokens.size() == problems.size(),
             "eigh_batched: tokens must be empty or parallel to problems");
+  TDG_CHECK(
+      opts.trace_contexts.empty() ||
+          opts.trace_contexts.size() == problems.size(),
+      "eigh_batched: trace_contexts must be empty or parallel to problems");
 
   WallTimer timer;
   const int workers = static_cast<int>(std::clamp<index_t>(
@@ -201,6 +205,12 @@ BatchResult eigh_batched(const std::vector<ConstMatrixView>& problems,
     while (queue.pop(w, &i, &stolen)) {
       if (stolen) steals.fetch_add(1, std::memory_order_relaxed);
       const std::size_t s = static_cast<std::size_t>(i);
+      // Slot i's request context shadows the batch-level ambient one for the
+      // duration of the problem, so every span below (including this one) is
+      // attributed to the request that submitted the slot.
+      obs::ContextScope ctx_scope(opts.trace_contexts.empty()
+                                      ? obs::current_context()
+                                      : opts.trace_contexts[s]);
       obs::Span span("batch.problem");
       span.attr("index", i);
       span.attr("n", problems[s].rows);

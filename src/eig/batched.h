@@ -44,6 +44,7 @@
 #include "common/cancel.h"
 #include "common/check.h"
 #include "eig/drivers.h"
+#include "obs/obs.h"
 #include "plan/plan.h"
 
 namespace tdg::eig {
@@ -82,6 +83,12 @@ struct BatchOptions {
   /// deadline-expired slot fails alone with ErrorCode::kCancelled. nullptr
   /// entries mean "not cancellable". Pointees must outlive the call.
   std::vector<const cancel::Token*> tokens;
+  /// Optional per-problem trace contexts (obs::TraceContext), parallel to
+  /// `problems` when non-empty (size checked). Each worker installs slot i's
+  /// context for the duration of problem i, so every span the problem
+  /// records — on whichever worker claimed it — is attributed to the
+  /// originating request. Zero-valued entries mean "no owning request".
+  std::vector<obs::TraceContext> trace_contexts;
 };
 
 /// Outcome of one slot. `ok` problems have their EvdResult filled; failed

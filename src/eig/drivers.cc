@@ -1,6 +1,7 @@
 #include "eig/drivers.h"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 #include <utility>
 
@@ -37,6 +38,27 @@ plan::ResolvedPipeline resolve_evd(const EvdOptions& opts, index_t n,
   popts.threads = opts.tridiag.threads;
   return plan::resolve_and_validate(shape, opts.plan, opts.tridiag,
                                     merged_knobs(opts), popts);
+}
+
+/// Record the model-vs-measured drift of a completed profile into the
+/// registry ("profile.model_drift_pct", percent). Always-on: profiled runs
+/// are rare and the drift distribution is the calibration telemetry the
+/// gpumodel consumers read. Phases the model does not price (model_seconds
+/// == 0) are excluded from the model total; a profile with no modeled
+/// phases or no measured time records nothing.
+void record_model_drift(const EvdProfile& profile) {
+  static obs::Histogram* const drift = obs::Registry::global().histogram(
+      "profile.model_drift_pct", obs::Gating::kAlways);
+  double measured = 0.0;
+  double model = 0.0;
+  for (const PhaseProfile& p : profile.phases) {
+    if (p.model_seconds <= 0.0) continue;
+    measured += p.seconds;
+    model += p.model_seconds;
+  }
+  if (model <= 0.0 || measured <= 0.0) return;
+  const double pct = std::abs(measured - model) / model * 100.0;
+  drift->record(static_cast<long long>(pct));
 }
 
 }  // namespace
@@ -257,6 +279,7 @@ EvdResult eigh_impl(ConstMatrixView a, const EvdOptions& opts,
         res.profile.total_seconds += p.seconds;
         res.profile.total_flops += p.flops;
       }
+      record_model_drift(res.profile);
     }
     return res;
   }
@@ -337,6 +360,7 @@ EvdResult eigh_impl(ConstMatrixView a, const EvdOptions& opts,
       res.profile.total_seconds += p.seconds;
       res.profile.total_flops += p.flops;
     }
+    record_model_drift(res.profile);
   }
   return res;
 }

@@ -1,0 +1,219 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/obs.h"
+
+namespace tdg::obs::flight {
+
+namespace {
+
+/// One ring slot. All-atomic so the owner's relaxed stores and a dumper's
+/// relaxed loads never constitute a data race (TSan-clean); a slot near the
+/// head may be read mid-update, which the dump tolerates (post-mortem
+/// artifact, timestamp-ordered).
+struct Slot {
+  std::atomic<int> kind{0};
+  std::atomic<const char*> name{""};
+  std::atomic<long long> t_us{0};
+  std::atomic<long long> a{0};
+  std::atomic<long long> b{0};
+  std::atomic<long long> request_id{0};
+};
+
+struct Ring {
+  std::atomic<unsigned> head{0};  // total events ever recorded on this ring
+  Slot slots[kRingCapacity];
+  int tid = 0;
+};
+
+struct RingRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Ring>> rings;
+  int next_tid = 0;
+};
+
+RingRegistry& ring_registry() {
+  static RingRegistry* r = new RingRegistry();  // leaked: signal/atexit dumps
+  return *r;
+}
+
+Ring& local_ring() {
+  thread_local const std::shared_ptr<Ring> ring = [] {
+    auto r = std::make_shared<Ring>();
+    RingRegistry& reg = ring_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    r->tid = reg.next_tid++;
+    reg.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+std::mutex& dump_path_mu() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+std::string& dump_path_storage() {
+  static std::string* s = new std::string();
+  return *s;
+}
+
+const char* kind_string(int k) {
+  switch (static_cast<EventKind>(k)) {
+    case EventKind::kSpan: return "span";
+    case EventKind::kMarker: return "marker";
+    case EventKind::kMetric: return "metric";
+    case EventKind::kError: return "error";
+    case EventKind::kNone: break;
+  }
+  return "none";
+}
+
+struct DumpedEvent {
+  int kind;
+  const char* name;
+  long long t_us, a, b, request_id;
+  int tid;
+};
+
+/// Fatal-signal handler: best-effort dump, then restore the default
+/// disposition and re-raise so the process still dies with the original
+/// signal. dump() is not async-signal-safe (it allocates); for a corrupted
+/// heap this may fail, but for the common aborts (TDG_CHECK, std::terminate
+/// via SIGABRT, a stray segfault in new code) it leaves the timeline that
+/// motivated the recorder.
+void fatal_signal_handler(int sig) {
+  (void)dump("fatal signal " + std::to_string(sig));
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+/// Reads TDG_FLIGHT_DUMP once before main (the obs EnvInit pattern) and
+/// hooks the fatal signals only when a dump destination exists.
+struct EnvInit {
+  EnvInit() {
+    if (const char* path = std::getenv("TDG_FLIGHT_DUMP")) {
+      (void)ring_registry();
+      set_dump_path(path);
+      for (const int sig : {SIGSEGV, SIGABRT, SIGFPE, SIGILL
+#ifdef SIGBUS
+                            , SIGBUS
+#endif
+           }) {
+        std::signal(sig, fatal_signal_handler);
+      }
+    }
+  }
+};
+const EnvInit env_init;
+
+}  // namespace
+
+void record(EventKind kind, const char* name, long long a, long long b,
+            long long request_id) {
+  if (request_id == kAmbientRequest) {
+    request_id = current_context().request_id;
+  }
+  Ring& r = local_ring();
+  const unsigned i = r.head.fetch_add(1, std::memory_order_relaxed) %
+                     static_cast<unsigned>(kRingCapacity);
+  Slot& s = r.slots[i];
+  s.kind.store(static_cast<int>(kind), std::memory_order_relaxed);
+  s.name.store(name, std::memory_order_relaxed);
+  s.t_us.store(static_cast<long long>(now_us()), std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+  s.request_id.store(request_id, std::memory_order_relaxed);
+}
+
+std::string dump_json(const std::string& reason) {
+  std::vector<DumpedEvent> events;
+  {
+    RingRegistry& reg = ring_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (const auto& ring : reg.rings) {
+      for (int i = 0; i < kRingCapacity; ++i) {
+        const Slot& s = ring->slots[i];
+        const int kind = s.kind.load(std::memory_order_relaxed);
+        if (kind == static_cast<int>(EventKind::kNone)) continue;
+        events.push_back(DumpedEvent{
+            kind, s.name.load(std::memory_order_relaxed),
+            s.t_us.load(std::memory_order_relaxed),
+            s.a.load(std::memory_order_relaxed),
+            s.b.load(std::memory_order_relaxed),
+            s.request_id.load(std::memory_order_relaxed), ring->tid});
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const DumpedEvent& x, const DumpedEvent& y) {
+                     return x.t_us < y.t_us;
+                   });
+  std::ostringstream os;
+  os << "{\"schema\":\"tdg.flight.v1\",\"reason\":\""
+     << json::escape(reason) << "\",\"dumped_at_us\":"
+     << static_cast<long long>(now_us())
+     << ",\"request_id\":" << current_context().request_id
+     << ",\"events\":[";
+  bool first = true;
+  for (const DumpedEvent& e : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"kind\":\"" << kind_string(e.kind) << "\",\"name\":\""
+       << json::escape(e.name == nullptr ? "" : e.name)
+       << "\",\"t_us\":" << e.t_us << ",\"a\":" << e.a << ",\"b\":" << e.b
+       << ",\"req\":" << e.request_id << ",\"tid\":" << e.tid << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool dump_to_file(const std::string& path, const std::string& reason) {
+  const std::string text = dump_json(reason);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fputs(text.c_str(), f) >= 0;
+  ok = std::fputc('\n', f) != EOF && ok;
+  ok = std::fflush(f) == 0 && ok;
+  std::fclose(f);
+  return ok;
+}
+
+bool dump(const std::string& reason) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(dump_path_mu());
+    path = dump_path_storage();
+  }
+  if (path.empty()) return false;
+  return dump_to_file(path, reason);
+}
+
+void set_dump_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(dump_path_mu());
+  dump_path_storage() = path;
+}
+
+void clear() {
+  RingRegistry& reg = ring_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& ring : reg.rings) {
+    ring->head.store(0, std::memory_order_relaxed);
+    for (int i = 0; i < kRingCapacity; ++i) {
+      ring->slots[i].kind.store(static_cast<int>(EventKind::kNone),
+                                std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace tdg::obs::flight

@@ -1,0 +1,72 @@
+// Always-on flight recorder — a fixed-size per-thread ring of recent
+// control-plane events (spans, markers, errors, metric samples) that turns
+// an opaque stall or crash into a post-mortem timeline.
+//
+// Unlike the span buffers (armed-only, unbounded, mutex-appended), the
+// flight recorder runs ALWAYS and never allocates after thread start: each
+// thread owns a 1024-slot ring of all-atomic slots, and recording one event
+// is a handful of relaxed stores plus one relaxed ring-index bump — no
+// lock, no clock syscall beyond the steady-clock read, no branch on an
+// armed flag. The rings are registered in a leaked global list (the span
+// BufRegistry pattern) so a dump can walk them from any thread, including
+// a fatal-signal handler, after the writers are long gone.
+//
+// Consistency model: slots are written field-by-field with relaxed atomics
+// by exactly one thread (the ring's owner) and read with relaxed atomics by
+// the dumper. A dump racing the writer may observe the slot nearest the
+// head mid-update (fields from two events) — acceptable for a post-mortem
+// artifact, and flagged by construction: the dump is ordered by timestamp
+// and a torn slot shows up as an outlier. TSan-clean: every access is an
+// atomic. Call sites are control-plane only (serve admission/resolution,
+// task-graph stall, batch failure) — never inner-loop kernels.
+//
+// Dumps are schema-stamped JSON ("tdg.flight.v1"): written to the
+// TDG_FLIGHT_DUMP=<path> file on kPipelineStall, on dispatcher batch-level
+// failure, on a fatal signal (best effort), or on demand via dump().
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace tdg::obs::flight {
+
+/// What one ring slot records. kNone marks a never-written slot.
+enum class EventKind : int {
+  kNone = 0,
+  kSpan = 1,    // a closed span: a = dur_us, b = depth
+  kMarker = 2,  // a control-plane milestone (admit, dispatch, resolve)
+  kMetric = 3,  // a sampled value: a = value
+  kError = 4,   // a failure: a/b = site-specific (error code, node id, ...)
+};
+
+/// Record one event on the calling thread's ring. `name` must be a string
+/// literal (the slot keeps the pointer). `request_id` tags the owning
+/// request; pass kAmbientRequest (default) to use the thread's current
+/// obs::TraceContext. Always on; wait-free for the owner.
+inline constexpr long long kAmbientRequest = -1;
+void record(EventKind kind, const char* name, long long a = 0,
+            long long b = 0, long long request_id = kAmbientRequest);
+
+/// Events a dump can hold: every thread contributes at most this many.
+inline constexpr int kRingCapacity = 1024;
+
+/// Serialize every thread's recent events (timestamp-ordered) as one
+/// schema-stamped JSON object. `reason` is recorded verbatim.
+std::string dump_json(const std::string& reason);
+
+/// Write dump_json(reason) to `path`. Returns false on I/O failure.
+bool dump_to_file(const std::string& path, const std::string& reason);
+
+/// Write a dump to the configured path (TDG_FLIGHT_DUMP or
+/// set_dump_path()). No-op returning false when no path is configured.
+bool dump(const std::string& reason);
+
+/// Configure the dump destination programmatically (tests; overrides the
+/// TDG_FLIGHT_DUMP env var). An empty path disables dump().
+void set_dump_path(const std::string& path);
+
+/// Drop every recorded event (tests). Not atomic with respect to
+/// concurrent record(); callers quiesce writers first.
+void clear();
+
+}  // namespace tdg::obs::flight

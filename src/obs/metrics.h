@@ -162,6 +162,55 @@ class Histogram {
   std::atomic<long long> sum_{0};
 };
 
+/// Explicit-bound histogram for latency-style samples — the Prometheus
+/// classic-histogram shape: bucket i counts samples <= bounds[i] (bounds
+/// ascending; one implicit +Inf overflow bucket), so percentile estimates
+/// are deterministic (a pure function of the bucket counts) and two
+/// exporters can never disagree. Lock-free like Histogram: atomic buckets,
+/// sum kept in milli-units so concurrent record() never tears and after
+/// quiescence count() equals the sum of buckets exactly.
+class BoundedHistogram {
+ public:
+  static constexpr int kMaxBounds = 24;
+
+  /// `bounds` are ascending upper bounds (n of them, n <= kMaxBounds);
+  /// bucket n is the implicit +Inf overflow.
+  BoundedHistogram(const double* bounds, int n,
+                   Gating gating = Gating::kAlways);
+
+  void record(double v);
+
+  int nbounds() const { return n_; }
+  double upper_bound(int i) const { return bounds_[i]; }
+  /// Count of bucket i, i in [0, nbounds()] — the last is the overflow.
+  long long bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  long long count() const;
+  double sum() const {
+    return static_cast<double>(sum_milli_.load(std::memory_order_relaxed)) /
+           1e3;
+  }
+
+  /// Deterministic percentile estimate: the upper bound of the bucket
+  /// holding the ceil(p * count)-th sample (the largest finite bound for
+  /// overflow samples). Exact to within one bucket bound by construction.
+  double percentile(double p) const;
+
+  void reset();
+
+ private:
+  Gating gating_;
+  int n_;
+  double bounds_[kMaxBounds];
+  std::atomic<long long> buckets_[kMaxBounds + 1]{};
+  std::atomic<long long> sum_milli_{0};
+};
+
+/// The canonical latency ladder (ms) shared by every serve.latency_ms
+/// histogram, so per-bucket and aggregate percentiles are comparable.
+const double* latency_bounds_ms(int* n);
+
 /// Name -> metric registry. Metrics are created on first use and live for
 /// the process; lookups after creation are lock-free via the returned
 /// pointer (call sites cache it in a function-local static).
@@ -172,6 +221,12 @@ class Registry {
   Histogram* histogram(const std::string& name,
                        Gating gating = Gating::kArmed);
 
+  /// A labelled explicit-bound latency histogram (latency_bounds_ms
+  /// ladder). `label` is the shape-bucket dimension ("" = the aggregate
+  /// series); exported as name{bucket="<label>"} in OpenMetrics.
+  BoundedHistogram* latency(const std::string& name, const std::string& label,
+                            Gating gating = Gating::kAlways);
+
   /// One JSON line with every registered metric:
   ///   {"schema_version":1,"counters":{...},"gauges":{...},
   ///    "histograms":{"name":{"count":..,"sum":..,"buckets":[..]}}}
@@ -180,6 +235,17 @@ class Registry {
 
   /// Write snapshot_json() + '\n' to `path`. Returns false on I/O failure.
   bool write(const std::string& path) const;
+
+  /// Render every registered metric as OpenMetrics/Prometheus text:
+  /// counters as <name>_total, gauges verbatim, pow2 Histograms and
+  /// labelled latency histograms as classic cumulative-le histograms.
+  /// Names are prefixed "tdg_" with dots mapped to underscores; the text
+  /// ends with the "# EOF" terminator (which the line protocol reuses as
+  /// its framing sentinel for the METRICS verb).
+  std::string openmetrics_text() const;
+
+  /// Write openmetrics_text() to `path`. Returns false on I/O failure.
+  bool write_openmetrics(const std::string& path) const;
 
   /// Zero every metric (tests). Callers quiesce writers first.
   void reset();
@@ -193,6 +259,9 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // name -> label -> series ("" label = the aggregate series).
+  std::map<std::string, std::map<std::string, std::unique_ptr<BoundedHistogram>>>
+      latency_;
 };
 
 }  // namespace tdg::obs

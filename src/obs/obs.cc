@@ -1,12 +1,15 @@
 #include "obs/obs.h"
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "common/json.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace tdg::obs {
@@ -69,6 +72,29 @@ ThreadBuf& local_buf() {
 // exception unwinds through the scope.
 thread_local int t_depth = 0;
 
+// Ambient request context on this thread. Plain thread_local: only the
+// owning thread reads or writes it (ContextScope install/restore), and
+// cross-thread handoffs copy it by value into the dispatched task.
+thread_local TraceContext t_ctx{};
+
+// Mid-run snapshot machinery. The request flag is the only thing a signal
+// handler touches (async-signal-safe atomic store); the path lives behind
+// a mutex in a leaked string so writers during static destruction still
+// read live state.
+std::atomic<int> g_snapshot_requested{0};
+std::mutex& snapshot_path_mu() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+std::string& snapshot_path_storage() {
+  static std::string* s = new std::string();
+  return *s;
+}
+
+void sigusr1_handler(int) {
+  g_snapshot_requested.store(1, std::memory_order_relaxed);
+}
+
 void append_json_event(std::ostringstream& os, const SpanEvent& e,
                        bool first) {
   if (!first) os << ',';
@@ -76,6 +102,7 @@ void append_json_event(std::ostringstream& os, const SpanEvent& e,
      << "\"ph\":\"X\",\"ts\":" << e.start_us << ",\"dur\":" << e.dur_us
      << ",\"pid\":1,\"tid\":" << e.tid;
   os << ",\"args\":{\"depth\":" << e.depth;
+  if (e.request_id != 0) os << ",\"req\":" << e.request_id;
   for (int i = 0; i < e.nattrs; ++i)
     os << ",\"" << json::escape(e.attrs[i].key)
        << "\":" << e.attrs[i].value;
@@ -96,6 +123,12 @@ struct EnvInit {
       (void)buf_registry();
       static const std::string trace_path = path;
       arm_tracing();
+      // Mid-run snapshots go to a sibling file so a partial snapshot can
+      // never clobber the at-exit trace.
+      set_snapshot_path(trace_path + ".snap.json");
+#ifdef SIGUSR1
+      std::signal(SIGUSR1, sigusr1_handler);  // kill -USR1 = snapshot now
+#endif
       std::atexit(+[] { (void)write_chrome_trace(trace_path); });
     }
     if (const char* path = std::getenv("TDG_METRICS")) {
@@ -121,10 +154,50 @@ void disarm_tracing() {
 
 double now_us() { return detail::since_epoch_us(detail::Clock::now()); }
 
+TraceContext current_context() { return detail::t_ctx; }
+
+long long next_request_id() {
+  static std::atomic<long long> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+ContextScope::ContextScope(TraceContext ctx) : prev_(detail::t_ctx) {
+  detail::t_ctx = ctx;
+}
+
+ContextScope::~ContextScope() { detail::t_ctx = prev_; }
+
+void set_snapshot_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(detail::snapshot_path_mu());
+  detail::snapshot_path_storage() = path;
+}
+
+void request_trace_snapshot() {
+  detail::g_snapshot_requested.store(1, std::memory_order_relaxed);
+}
+
+bool maybe_write_requested_snapshot() {
+  if (detail::g_snapshot_requested.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  if (detail::g_snapshot_requested.exchange(0, std::memory_order_relaxed) ==
+      0) {
+    return false;  // another thread consumed the request
+  }
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(detail::snapshot_path_mu());
+    path = detail::snapshot_path_storage();
+  }
+  if (path.empty()) return false;
+  return write_chrome_trace(path);
+}
+
 void Span::begin(const char* name) {
   active_ = true;
   ev_.name = name;
   ev_.depth = detail::t_depth++;
+  ev_.request_id = detail::t_ctx.request_id;
   ev_.start_us = now_us();
 }
 
@@ -134,8 +207,17 @@ void Span::end() {
   active_ = false;
   detail::ThreadBuf& buf = detail::local_buf();
   ev_.tid = buf.tid;
-  std::lock_guard<std::mutex> lock(buf.mu);
-  buf.events.push_back(ev_);
+  {
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.events.push_back(ev_);
+  }
+  // Armed-path only (end() never runs disarmed, preserving the one-relaxed-
+  // load disarmed cost): mirror the close into the flight recorder and
+  // honor a pending mid-run snapshot request, both outside the buffer lock.
+  flight::record(flight::EventKind::kSpan, ev_.name,
+                 static_cast<long long>(ev_.dur_us), ev_.depth,
+                 ev_.request_id);
+  maybe_write_requested_snapshot();
 }
 
 std::vector<SpanEvent> trace_snapshot() {

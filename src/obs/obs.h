@@ -33,6 +33,40 @@ namespace detail {
 extern std::atomic<int> g_trace_armed;  // 0 = disarmed: the fast path
 }  // namespace detail
 
+/// Ambient request identity for the current thread. Minted once per serve
+/// request at admission (next_request_id()) and carried across every
+/// cross-thread handoff — thread-pool helper tasks, task-graph nodes,
+/// batch slots, the retry executor — by capturing current_context() at
+/// dispatch and installing a ContextScope in the receiving task. Every
+/// span closed while a context is installed is tagged with the request id,
+/// so the Chrome-trace export reconstructs one end-to-end flow per request.
+/// request_id 0 means "no ambient request" (library work outside serve).
+struct TraceContext {
+  long long request_id = 0;
+  long long span_id = 0;  // reserved for parent-span linkage
+};
+
+/// The calling thread's ambient context ({0,0} when none installed).
+TraceContext current_context();
+
+/// Process-wide monotonically increasing request ids, starting at 1.
+long long next_request_id();
+
+/// RAII ambient-context install: saves the thread's current context,
+/// installs `ctx`, restores on destruction (exception-safe). Cheap — two
+/// thread-local copies, no atomics — so every cross-thread handoff can
+/// afford one unconditionally.
+class ContextScope {
+ public:
+  explicit ContextScope(TraceContext ctx);
+  ~ContextScope();
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
 /// True when span collection is armed. One relaxed load — the entire
 /// disarmed cost of a span site.
 inline bool tracing_armed() {
@@ -57,7 +91,8 @@ struct SpanEvent {
     const char* key;  // string literal
     long long value;
   } attrs[kMaxAttrs] = {};
-  double flops = 0.0;  // optional flop credit (0 = not recorded)
+  double flops = 0.0;       // optional flop credit (0 = not recorded)
+  long long request_id = 0;  // ambient TraceContext at begin (0 = none)
 };
 
 /// RAII span. Inert (single relaxed load, nothing else) when tracing is
@@ -111,10 +146,36 @@ void clear_trace();
 int open_span_depth();
 
 /// Write the recorded spans as Chrome trace-event JSON. Returns false on
-/// I/O failure.
+/// I/O failure. Safe mid-run while tracing stays armed: the snapshot copies
+/// closed spans under the per-thread buffer locks without disarming, so
+/// concurrent span sites are never lost and open spans appear on the next
+/// snapshot.
 bool write_chrome_trace(const std::string& path);
 
 /// Serialize the recorded spans to the Chrome trace-event JSON text.
 std::string chrome_trace_json();
+
+// ---- mid-run snapshots ----------------------------------------------------
+//
+// A long-running service wants a trace *now*, not at process exit. The
+// snapshot request is a single atomic flag (async-signal-safe: the SIGUSR1
+// handler installed alongside TDG_TRACE_JSON just sets it), consumed on the
+// next armed span close — the write happens on a normal thread, outside any
+// buffer lock, while tracing stays armed (no disarm/re-arm race).
+
+/// Destination for flag-triggered snapshots. Set automatically to the
+/// TDG_TRACE_JSON path + ".snap.json" (a sibling file, so a mid-run
+/// snapshot never clobbers the at-exit trace); tests may point it
+/// elsewhere. Thread-safe.
+void set_snapshot_path(const std::string& path);
+
+/// Request a mid-run snapshot (what the SIGUSR1 handler does). The next
+/// armed span close — or an explicit maybe_write_requested_snapshot() —
+/// performs the write. Async-signal-safe.
+void request_trace_snapshot();
+
+/// If a snapshot was requested and a snapshot path is set, consume the
+/// request and write the trace. Returns true when a file was written.
+bool maybe_write_requested_snapshot();
 
 }  // namespace tdg::obs

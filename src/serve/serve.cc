@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <functional>
 #include <map>
@@ -14,6 +18,8 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/json.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "plan/plan_cache.h"
@@ -90,6 +96,48 @@ bool transient(ErrorCode code) {
   return code == ErrorCode::kFaultInjected;
 }
 
+/// The shape-bucket label a request's latency is recorded under:
+/// "n<pow2-bucket>v<0|1>", the human-readable projection of the plan-cache
+/// bucket key (stable across processes, safe as an OpenMetrics label).
+std::string bucket_label(index_t n, bool vectors) {
+  return "n" + std::to_string(plan::pow2_bucket(std::max<index_t>(n, 1))) +
+         (vectors ? "v1" : "v0");
+}
+
+/// Structured per-request log sink, resolved once from TDG_SERVE_REQLOG:
+/// unset/empty = disabled, "stderr" or "-" = stderr, anything else = append
+/// to that path. nullptr means disabled.
+std::FILE* reqlog_stream() {
+  static std::FILE* const f = []() -> std::FILE* {
+    const char* e = std::getenv("TDG_SERVE_REQLOG");
+    if (e == nullptr || *e == '\0') return nullptr;
+    if (std::strcmp(e, "stderr") == 0 || std::strcmp(e, "-") == 0) {
+      return stderr;
+    }
+    return std::fopen(e, "a");
+  }();
+  return f;
+}
+
+/// One JSON line per resolved request (schema tdg.reqlog.v1). A single
+/// fprintf call so concurrent resolutions don't interleave mid-line.
+void log_request(long long request_id, const std::string& bucket,
+                 Outcome outcome, ErrorCode code, double queue_ms,
+                 double solve_ms, int retries, bool degraded,
+                 const std::string& plan_source) {
+  std::FILE* f = reqlog_stream();
+  if (f == nullptr) return;
+  std::fprintf(
+      f,
+      "{\"schema\":\"tdg.reqlog.v1\",\"req\":%lld,\"bucket\":\"%s\","
+      "\"outcome\":\"%s\",\"code\":%d,\"queue_ms\":%.3f,\"solve_ms\":%.3f,"
+      "\"retries\":%d,\"degraded\":%s,\"plan_source\":\"%s\"}\n",
+      request_id, json::escape(bucket).c_str(), to_string(outcome),
+      static_cast<int>(code), queue_ms, solve_ms, retries,
+      degraded ? "true" : "false", json::escape(plan_source).c_str());
+  std::fflush(f);
+}
+
 }  // namespace
 
 const char* to_string(Outcome o) {
@@ -110,7 +158,11 @@ struct ServeCore::Impl {
     std::shared_ptr<cancel::Token> token;
     Clock::time_point submitted_at{};
     std::string admit_key;  // breaker bucket, as admitted (pre-degrade)
-    bool probe = false;     // the bucket breaker's half-open probe
+    std::string label;      // shape-bucket latency label ("n<pow2>v<0|1>")
+    // Minted at submit: every span and flight event this request produces,
+    // on whichever thread, carries ctx.request_id.
+    obs::TraceContext ctx{};
+    bool probe = false;  // the bucket breaker's half-open probe
     int retries = 0;
   };
 
@@ -153,6 +205,8 @@ struct ServeCore::Impl {
         static_cast<long long>(n) * static_cast<long long>(n) * 8;
     req->admit_key = plan::cache_key(plan::ProblemShape{
         std::max<index_t>(n, 1), ropts.vectors, 0});
+    req->label = bucket_label(n, ropts.vectors);
+    req->ctx = obs::TraceContext{obs::next_request_id(), 0};
 
     std::lock_guard<std::mutex> lk(mu);
     ++submitted;
@@ -196,6 +250,8 @@ struct ServeCore::Impl {
     req->a = std::move(a);
     ++admitted;
     m.admitted->inc();
+    obs::flight::record(obs::flight::EventKind::kMarker, "serve.admit", n,
+                        ropts.vectors ? 1 : 0, req->ctx.request_id);
     queued_bytes += bytes;
     queue.push_back(std::move(req));
     note_depth_locked();
@@ -208,10 +264,16 @@ struct ServeCore::Impl {
               const std::string& msg) {
     ++rejected;
     ServeMetrics::get().rejected->inc();
+    obs::flight::record(obs::flight::EventKind::kError, "serve.reject",
+                        static_cast<long long>(code), 0,
+                        req->ctx.request_id);
+    log_request(req->ctx.request_id, req->label, Outcome::kRejected, code,
+                0.0, 0.0, 0, false, "");
     Response r;
     r.outcome = Outcome::kRejected;
     r.code = code;
     r.message = msg;
+    r.request_id = req->ctx.request_id;
     req->promise.set_value(std::move(r));
   }
 
@@ -221,6 +283,8 @@ struct ServeCore::Impl {
     m.queue_depth->set(depth);
     m.queue_depth_hwm->update_max(depth);
     depth_hwm = std::max(depth_hwm, depth);
+    obs::flight::record(obs::flight::EventKind::kMetric, "serve.queue_depth",
+                        depth, 0, 0);
   }
 
   // ---- dispatcher ----------------------------------------------------
@@ -299,6 +363,13 @@ struct ServeCore::Impl {
         msg = std::string("serve: batch dispatch failed: ") + err.what();
       } catch (...) {
       }
+      // Batch-level failures are the flight recorder's raison d'être: dump
+      // every thread's recent events (request-tagged) before resolving the
+      // batch, while the failing state is still fresh.
+      obs::flight::record(obs::flight::EventKind::kError, "serve.batch_fail",
+                          static_cast<long long>(code),
+                          static_cast<long long>(batch.size()), 0);
+      obs::flight::dump("serve batch dispatch failure: " + msg);
       for (Slot& s : slots) {
         if (!s.req) continue;  // already resolved (or handed to retry)
         const bool probe = s.req->probe;
@@ -373,6 +444,10 @@ struct ServeCore::Impl {
     // bucket's still-unresolved slots; the other buckets still solve.
     for (auto& [key, idxs] : groups) {
       try {
+        // Bucket-level work (the warm-plan pass, the batch-span bookkeeping)
+        // is attributed to the bucket's first request; per-problem spans get
+        // their own slot's context via BatchOptions::trace_contexts.
+        obs::ContextScope ctx_scope(slots[idxs[0]].req->ctx);
         const plan::Plan* plan = warm_plan(key, slots[idxs[0]].vectors,
                                            slots[idxs[0]].req->a.rows());
         eig::BatchOptions bopts;
@@ -385,9 +460,11 @@ struct ServeCore::Impl {
         std::vector<ConstMatrixView> views;
         views.reserve(idxs.size());
         bopts.tokens.reserve(idxs.size());
+        bopts.trace_contexts.reserve(idxs.size());
         for (const std::size_t i : idxs) {
           views.push_back(slots[i].req->a.view());
           bopts.tokens.push_back(slots[i].req->token.get());
+          bopts.trace_contexts.push_back(slots[i].req->ctx);
         }
         {
           std::lock_guard<std::mutex> lk(mu);
@@ -490,6 +567,9 @@ struct ServeCore::Impl {
   /// executor thread and never throws (an escape would std::terminate).
   void retry_or_fail(Slot&& s, const std::string& key, ErrorCode first_code,
                      const std::string& first_msg) {
+    // The solo re-solve runs on the retry executor thread: re-install the
+    // request's context so its spans stay attributed across the handoff.
+    obs::ContextScope ctx_scope(s.req->ctx);
     ServeMetrics& m = ServeMetrics::get();
     ErrorCode code = first_code;
     std::string msg = first_msg;
@@ -579,6 +659,7 @@ struct ServeCore::Impl {
     r.queue_ms = queue_ms;
     r.solve_ms = solve_ms;
     r.retries = used_retries;
+    r.request_id = req->ctx.request_id;
     const double latency = ms_between(req->submitted_at, Clock::now());
     {
       std::lock_guard<std::mutex> lk(mu);
@@ -593,6 +674,13 @@ struct ServeCore::Impl {
     }
     (was_degraded ? m.degraded : m.completed)->inc();
     m.latency_us->record(static_cast<long long>(latency * 1e3));
+    record_latency_ms(latency, req->label);
+    obs::flight::record(obs::flight::EventKind::kMarker, "serve.resolve",
+                        std::llround(latency * 1e3), was_degraded ? 1 : 0,
+                        req->ctx.request_id);
+    log_request(req->ctx.request_id, req->label, r.outcome,
+                ErrorCode::kUnknown, queue_ms, solve_ms, used_retries,
+                was_degraded, r.result.plan_source);
     req->promise.set_value(std::move(r));
   }
 
@@ -608,6 +696,7 @@ struct ServeCore::Impl {
     r.queue_ms = queue_ms;
     r.solve_ms = solve_ms;
     r.retries = used_retries;
+    r.request_id = req->ctx.request_id;
     const double latency = ms_between(req->submitted_at, Clock::now());
     {
       std::lock_guard<std::mutex> lk(mu);
@@ -620,7 +709,24 @@ struct ServeCore::Impl {
     m.failed->inc();
     if (code == ErrorCode::kCancelled) m.deadline_failures->inc();
     m.latency_us->record(static_cast<long long>(latency * 1e3));
+    record_latency_ms(latency, req->label);
+    obs::flight::record(obs::flight::EventKind::kError, "serve.fail",
+                        static_cast<long long>(code), used_retries,
+                        req->ctx.request_id);
+    log_request(req->ctx.request_id, req->label, Outcome::kFailed, code,
+                queue_ms, solve_ms, used_retries, false, "");
     req->promise.set_value(std::move(r));
+  }
+
+  /// Feed one resolution latency into the explicit-bound histograms: the
+  /// per-instance aggregate behind ServeStats::hist_p*, and the registry's
+  /// labelled "serve.latency_ms" series (the "" aggregate plus this
+  /// request's shape bucket) behind the OpenMetrics exposition.
+  void record_latency_ms(double ms, const std::string& label) {
+    latency_hist.record(ms);
+    obs::Registry& r = obs::Registry::global();
+    r.latency("serve.latency_ms", "")->record(ms);
+    r.latency("serve.latency_ms", label)->record(ms);
   }
 
   // ---- breaker / plan / ewma (mu) ------------------------------------
@@ -797,6 +903,11 @@ struct ServeCore::Impl {
       s.p95_ms = pct(0.95);
       s.p99_ms = pct(0.99);
     }
+    if (latency_hist.count() > 0) {
+      s.hist_p50_ms = latency_hist.percentile(0.50);
+      s.hist_p95_ms = latency_hist.percentile(0.95);
+      s.hist_p99_ms = latency_hist.percentile(0.99);
+    }
     return s;
   }
 
@@ -827,6 +938,13 @@ struct ServeCore::Impl {
   static constexpr std::size_t kLatencyReservoir = 4096;
   std::vector<double> latencies_ms;  // bounded: note_latency_locked
   long long latency_seen = 0;
+
+  // Per-instance aggregate of the canonical latency ladder (lock-free;
+  // recorded outside mu). Backs ServeStats::hist_p50/p95/p99 without
+  // cross-instance pollution from the shared registry series.
+  int latency_nb = 0;
+  const double* latency_bounds = obs::latency_bounds_ms(&latency_nb);
+  obs::BoundedHistogram latency_hist{latency_bounds, latency_nb};
 
   std::map<std::string, Breaker> breakers;
   std::map<std::string, PlanSlot> plans;

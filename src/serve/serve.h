@@ -47,7 +47,15 @@
 // span per dispatch, a latency histogram behind ServeStats p50/p95/p99.
 // Fault sites `serve_admit` (admission rejects) and `serve_request`
 // (transient solve failure, exercising the retry ladder) plug into the CI
-// fault matrix.
+// fault matrix. Every submit mints a process-unique request id
+// (obs::next_request_id) whose obs::TraceContext travels with the request
+// through the dispatcher, eigh_batched slots, and the retry executor, so
+// armed traces reconstruct one flow per request and flight-recorder dumps
+// name the owning request. Resolutions feed per-shape-bucket explicit-bound
+// latency histograms ("serve.latency_ms", OpenMetrics-exposable via
+// obs::Registry::openmetrics_text and the wire protocol's METRICS verb),
+// and TDG_SERVE_REQLOG=<path|stderr> emits one structured JSON log line
+// per resolved request (schema tdg.reqlog.v1).
 //
 // Transport-agnostic: ServeCore is in-process (bench_serve drives it
 // directly); examples/serve_main.cc wraps it in a line-protocol TCP front
@@ -134,6 +142,10 @@ struct Response {
   double queue_ms = 0.0;  // admit -> dispatch
   double solve_ms = 0.0;  // dispatch -> resolution (includes retries)
   int retries = 0;        // transient-failure retries consumed
+  /// Process-unique id minted at submit (even for synchronous rejects);
+  /// the same id tags every armed-trace span and flight-recorder event
+  /// this request produced ("req" in the Chrome-trace args).
+  long long request_id = 0;
 };
 
 /// A submitted request: the response future plus the request's cancellation
@@ -163,6 +175,14 @@ struct ServeStats {
   double p50_ms = 0.0;  // submit -> resolution, resolved requests only
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  // The same percentiles estimated from the explicit-bound latency
+  // histogram (obs::latency_bounds_ms ladder) that backs the OpenMetrics
+  // "tdg_serve_latency_ms" series: each is the upper bound of the bucket
+  // holding the percentile sample, so it agrees with the reservoir-derived
+  // value above to within one bucket bound (asserted in serve_test).
+  double hist_p50_ms = 0.0;
+  double hist_p95_ms = 0.0;
+  double hist_p99_ms = 0.0;
 
   /// The exactly-once invariant: every submitted request has resolved to
   /// one outcome. Holds whenever no request is queued or in flight.

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace tdg::serve::wire {
 
 namespace {
@@ -68,6 +70,10 @@ ParsedRequest parse_line(const std::string& line) {
     p.kind = ParsedRequest::kStats;
     return p;
   }
+  if (verb == "metrics") {
+    p.kind = ParsedRequest::kMetrics;
+    return p;
+  }
   if (verb == "drain") {
     p.kind = ParsedRequest::kDrain;
     return p;
@@ -120,17 +126,18 @@ std::string format_response(long long id, const Response& r) {
       w_max = *hi;
     }
     std::snprintf(buf, sizeof(buf),
-                  "ok id=%lld outcome=%s n=%lld w_min=%.17g w_max=%.17g "
-                  "queue_ms=%.3f solve_ms=%.3f retries=%d",
-                  id, to_string(r.outcome),
+                  "ok id=%lld req=%lld outcome=%s n=%lld w_min=%.17g "
+                  "w_max=%.17g queue_ms=%.3f solve_ms=%.3f retries=%d",
+                  id, r.request_id, to_string(r.outcome),
                   static_cast<long long>(r.result.eigenvalues.size()), w_min,
                   w_max, r.queue_ms, r.solve_ms, r.retries);
     return buf;
   }
   std::string msg = r.message;
   std::replace(msg.begin(), msg.end(), '"', '\'');
-  std::snprintf(buf, sizeof(buf), "err id=%lld outcome=%s code=%s msg=\"", id,
-                to_string(r.outcome), to_string(r.code));
+  std::snprintf(buf, sizeof(buf), "err id=%lld req=%lld outcome=%s code=%s "
+                "msg=\"", id, r.request_id, to_string(r.outcome),
+                to_string(r.code));
   return std::string(buf) + msg + "\"";
 }
 
@@ -143,12 +150,18 @@ std::string format_stats(const ServeStats& s) {
       "\"retries\":%lld,\"breaker_trips\":%lld,\"batches\":%lld,"
       "\"deadline_failures\":%lld,\"queue_depth\":%lld,"
       "\"queue_depth_hwm\":%lld,\"p50_ms\":%.3f,\"p95_ms\":%.3f,"
-      "\"p99_ms\":%.3f,\"accounted\":%s}",
+      "\"p99_ms\":%.3f,\"hist_p50_ms\":%.3f,\"hist_p95_ms\":%.3f,"
+      "\"hist_p99_ms\":%.3f,\"accounted\":%s}",
       s.submitted, s.admitted, s.rejected, s.completed, s.degraded, s.failed,
       s.retries, s.breaker_trips, s.batches, s.deadline_failures,
       s.queue_depth, s.queue_depth_hwm, s.p50_ms, s.p95_ms, s.p99_ms,
+      s.hist_p50_ms, s.hist_p95_ms, s.hist_p99_ms,
       s.accounted() ? "true" : "false");
   return buf;
+}
+
+std::string format_metrics() {
+  return obs::Registry::global().openmetrics_text();
 }
 
 }  // namespace tdg::serve::wire

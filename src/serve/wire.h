@@ -12,16 +12,24 @@
 //       the protocol stays line-oriented — a benchmarking/acceptance
 //       front end, not a bulk-data plane.
 //   stats    — one stats line
+//   metrics  — the full metrics registry as OpenMetrics/Prometheus text
 //   drain    — stop admitting, resolve everything queued, then ack
 //   quit     — close this connection
 //
 // Responses, one line per request:
 //
-//   ok id=<n> outcome=completed|degraded n=<dim> w_min=<v> w_max=<v>
-//      queue_ms=<v> solve_ms=<v> retries=<k>
-//   err id=<n> outcome=rejected|failed code=<error-code> msg="..."
+//   ok id=<n> req=<rid> outcome=completed|degraded n=<dim> w_min=<v>
+//      w_max=<v> queue_ms=<v> solve_ms=<v> retries=<k>
+//   err id=<n> req=<rid> outcome=rejected|failed code=<error-code> msg="..."
 //   stats {...ServeStats as a JSON object...}
 //   bye
+//
+// `req` is the server-minted request id (Response::request_id): the same
+// id tags every trace span and flight-recorder event the request produced,
+// so a wire client can join its responses against a Chrome-trace export.
+// The metrics verb is the one multi-line response; its payload is
+// terminated by the OpenMetrics "# EOF" line, which doubles as the
+// protocol's framing sentinel (clients read lines until "# EOF").
 #pragma once
 
 #include <string>
@@ -32,7 +40,7 @@ namespace tdg::serve::wire {
 
 /// A parsed request line.
 struct ParsedRequest {
-  enum Kind { kSolve, kStats, kDrain, kQuit, kBad };
+  enum Kind { kSolve, kStats, kMetrics, kDrain, kQuit, kBad };
   Kind kind = kBad;
   long long id = 0;                // client-chosen correlation id
   index_t n = 0;                   // problem size (kSolve)
@@ -50,5 +58,9 @@ std::string format_response(long long id, const Response& r);
 
 /// Format a stats line (no trailing newline).
 std::string format_stats(const ServeStats& s);
+
+/// The metrics-verb payload: the global registry rendered as OpenMetrics
+/// text (obs::Registry::openmetrics_text), "# EOF"-terminated.
+std::string format_metrics();
 
 }  // namespace tdg::serve::wire

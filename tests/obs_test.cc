@@ -22,9 +22,12 @@
 #include "common/fault.h"
 #include "common/json.h"
 #include "common/rng.h"
+#include "common/task_graph.h"
 #include "common/thread_pool.h"
+#include "eig/batched.h"
 #include "eig/drivers.h"
 #include "la/generate.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "plan/plan_cache.h"
@@ -537,6 +540,389 @@ TEST(Profile, ValuesOnlyRunHasNoBacktransformPhase) {
   ASSERT_TRUE(res.profile.enabled);
   ASSERT_EQ(res.profile.phases.size(), 2u);  // tridiag + solver
   EXPECT_EQ(res.profile.phases[1].name, "solver");
+}
+
+
+// ---------------------------------------------------------------------------
+// Trace-context propagation (request-scoped tracing).
+
+TEST(TraceContext, ContextScopeInstallsNestsAndRestores) {
+  // No ambient context by default.
+  EXPECT_EQ(obs::current_context().request_id, 0);
+  {
+    obs::ContextScope outer(obs::TraceContext{7, 0});
+    EXPECT_EQ(obs::current_context().request_id, 7);
+    {
+      obs::ContextScope inner(obs::TraceContext{9, 0});
+      EXPECT_EQ(obs::current_context().request_id, 9);
+    }
+    // Inner scope restores the outer context, not the default.
+    EXPECT_EQ(obs::current_context().request_id, 7);
+  }
+  EXPECT_EQ(obs::current_context().request_id, 0);
+}
+
+TEST(TraceContext, NextRequestIdIsMonotonicAndNonzero) {
+  const long long a = obs::next_request_id();
+  const long long b = obs::next_request_id();
+  EXPECT_GE(a, 1);
+  EXPECT_GT(b, a);
+}
+
+TEST(TraceContext, SpanCarriesAmbientRequestIdIntoExport) {
+  ScopedTracing armed;
+  {
+    obs::ContextScope scope(obs::TraceContext{42, 0});
+    obs::Span span("t.tagged");
+  }
+  { obs::Span span("t.untagged"); }
+  const std::vector<obs::SpanEvent> events = obs::trace_snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  long long tagged = -1, untagged = -1;
+  for (const obs::SpanEvent& e : events) {
+    if (std::string(e.name) == "t.tagged") tagged = e.request_id;
+    if (std::string(e.name) == "t.untagged") untagged = e.request_id;
+  }
+  EXPECT_EQ(tagged, 42);
+  EXPECT_EQ(untagged, 0);
+
+  // The Chrome export carries the id as "req" in args; untagged spans omit
+  // the key entirely (no zero noise).
+  const std::string jsonText = obs::chrome_trace_json();
+  EXPECT_NE(jsonText.find("\"req\":42"), std::string::npos);
+  EXPECT_EQ(jsonText.find("\"req\":0"), std::string::npos);
+}
+
+TEST(TraceContext, PropagatesAcrossParallelForHelpers) {
+  ScopedTracing armed;
+  ThreadLimit scope(4);
+  {
+    obs::ContextScope ctx(obs::TraceContext{11, 0});
+    ThreadPool::global().parallel_for(0, 16, [](index_t) {
+      obs::Span span("t.pf_body");
+    });
+  }
+  const std::vector<obs::SpanEvent> events = obs::trace_snapshot();
+  int seen = 0;
+  for (const obs::SpanEvent& e : events) {
+    if (std::string(e.name) != "t.pf_body") continue;
+    ++seen;
+    // Helper-executed bodies must carry the dispatcher's request id too.
+    EXPECT_EQ(e.request_id, 11) << "body span lost the ambient context";
+  }
+  EXPECT_EQ(seen, 16);
+}
+
+TEST(TraceContext, PropagatesAcrossRunConcurrentCopies) {
+  ScopedTracing armed;
+  ThreadLimit scope(4);
+  {
+    obs::ContextScope ctx(obs::TraceContext{13, 0});
+    ThreadPool::global().run_concurrent(4, [](int) {
+      obs::Span span("t.rc_body");
+    });
+  }
+  int seen = 0;
+  for (const obs::SpanEvent& e : obs::trace_snapshot()) {
+    if (std::string(e.name) != "t.rc_body") continue;
+    ++seen;
+    EXPECT_EQ(e.request_id, 13);
+  }
+  EXPECT_EQ(seen, 4);
+}
+
+TEST(TraceContext, PropagatesIntoTaskGraphNodes) {
+  ScopedTracing armed;
+  ThreadLimit scope(4);
+  {
+    obs::ContextScope ctx(obs::TraceContext{17, 0});
+    graph::TaskGraph g;
+    const auto a = g.add("t.node_a", graph::NodeClass::kPooled, [] {});
+    const auto b = g.add("t.node_b", graph::NodeClass::kPooled, [] {});
+    g.add("t.node_join", graph::NodeClass::kDriver, [] {}, {a, b});
+    g.run();
+  }
+  int seen = 0;
+  for (const obs::SpanEvent& e : obs::trace_snapshot()) {
+    const std::string name = e.name;
+    if (name.rfind("t.node", 0) != 0) continue;
+    ++seen;
+    // Node spans execute on pool workers and the driver alike; all of them
+    // belong to the graph's owning request.
+    EXPECT_EQ(e.request_id, 17) << "node span " << name;
+  }
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(TraceContext, BatchSlotsCarryPerProblemContexts) {
+  ScopedTracing armed;
+  ThreadLimit scope(2);
+  Rng rng(5);
+  std::vector<Matrix> mats;
+  std::vector<ConstMatrixView> views;
+  for (int i = 0; i < 3; ++i) mats.push_back(random_symmetric(24, rng));
+  for (const Matrix& m : mats) views.push_back(m.view());
+  eig::BatchOptions bopts;
+  bopts.vectors = false;
+  bopts.trace_contexts = {obs::TraceContext{101, 0},
+                          obs::TraceContext{102, 0},
+                          obs::TraceContext{103, 0}};
+  const eig::BatchResult br = eig::eigh_batched(views, bopts);
+  ASSERT_TRUE(br.all_ok());
+  std::vector<long long> problem_reqs;
+  for (const obs::SpanEvent& e : obs::trace_snapshot()) {
+    if (std::string(e.name) == "batch.problem") {
+      problem_reqs.push_back(e.request_id);
+    }
+  }
+  std::sort(problem_reqs.begin(), problem_reqs.end());
+  ASSERT_EQ(problem_reqs.size(), 3u);
+  EXPECT_EQ(problem_reqs[0], 101);
+  EXPECT_EQ(problem_reqs[1], 102);
+  EXPECT_EQ(problem_reqs[2], 103);
+}
+
+TEST(TraceContext, MismatchedTraceContextsRejected) {
+  Rng rng(5);
+  const Matrix m = random_symmetric(16, rng);
+  eig::BatchOptions bopts;
+  bopts.trace_contexts = {obs::TraceContext{1, 0}, obs::TraceContext{2, 0}};
+  EXPECT_THROW(eig::eigh_batched({m.view()}, bopts), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Mid-run trace snapshots.
+
+TEST(TraceSnapshot, RequestConsumedAtNextSpanClose) {
+  ScopedTracing armed;
+  const std::string path = "obs_test_snapshot.json";
+  std::remove(path.c_str());
+  obs::set_snapshot_path(path);
+
+  { obs::Span span("t.before"); }
+  obs::request_trace_snapshot();
+  // The request is consumed when the next armed span CLOSES — tracing never
+  // disarms, so no span recorded around the write can be lost.
+  { obs::Span span("t.trigger"); }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "snapshot file was not written at span close";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  json::Value v;
+  ASSERT_TRUE(json::parse(ss.str(), &v));
+  EXPECT_TRUE(obs::tracing_armed()) << "snapshot must not disarm tracing";
+
+  // Spans recorded after the snapshot still land in the live buffers.
+  { obs::Span span("t.after"); }
+  bool saw_after = false;
+  for (const obs::SpanEvent& e : obs::trace_snapshot()) {
+    if (std::string(e.name) == "t.after") saw_after = true;
+  }
+  EXPECT_TRUE(saw_after);
+  std::remove(path.c_str());
+  obs::set_snapshot_path("");
+}
+
+TEST(TraceSnapshot, ExplicitConsumeWritesOnceAndClearsTheFlag) {
+  ScopedTracing armed;
+  const std::string path = "obs_test_snapshot2.json";
+  std::remove(path.c_str());
+  obs::set_snapshot_path(path);
+  { obs::Span span("t.one"); }
+
+  EXPECT_FALSE(obs::maybe_write_requested_snapshot());  // nothing requested
+  obs::request_trace_snapshot();
+  EXPECT_TRUE(obs::maybe_write_requested_snapshot());
+  EXPECT_FALSE(obs::maybe_write_requested_snapshot());  // flag consumed
+  std::remove(path.c_str());
+  obs::set_snapshot_path("");
+}
+
+// ---------------------------------------------------------------------------
+// Explicit-bound latency histograms.
+
+TEST(Metrics, BoundedHistogramExactUnderConcurrentRecords) {
+  int nb = 0;
+  const double* bounds = obs::latency_bounds_ms(&nb);
+  obs::BoundedHistogram h(bounds, nb, obs::Gating::kAlways);
+
+  // Four values, one per ladder region (le=1, le=5, le=100, le=30000).
+  const double vals[4] = {0.5, 3.0, 75.0, 12000.0};
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, &vals] {
+      for (int i = 0; i < kPerThread; ++i) h.record(vals[i % 4]);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Lock-free atomic buckets: exact count and sum once writers joined.
+  const long long expect_each = kThreads * (kPerThread / 4);
+  EXPECT_EQ(h.count(), kThreads * static_cast<long long>(kPerThread));
+  EXPECT_EQ(h.bucket(0), expect_each);   // 0.5  -> le=1
+  EXPECT_EQ(h.bucket(2), expect_each);   // 3.0  -> le=5
+  EXPECT_EQ(h.bucket(6), expect_each);   // 75   -> le=100
+  EXPECT_EQ(h.bucket(13), expect_each);  // 12e3 -> le=30000
+  EXPECT_DOUBLE_EQ(h.sum(),
+                   static_cast<double>(expect_each) * (0.5 + 3.0 + 75.0 +
+                                                       12000.0));
+}
+
+TEST(Metrics, BoundedHistogramPercentilesAreDeterministicBucketBounds) {
+  int nb = 0;
+  const double* bounds = obs::latency_bounds_ms(&nb);
+  obs::BoundedHistogram h(bounds, nb, obs::Gating::kAlways);
+  EXPECT_EQ(h.percentile(0.5), 0.0);  // empty: no samples, no estimate
+
+  for (int i = 0; i < 90; ++i) h.record(3.0);    // -> le=5
+  for (int i = 0; i < 10; ++i) h.record(150.0);  // -> le=200
+  // Percentiles are bucket upper bounds — a pure function of the counts.
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.90), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.95), 200.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 200.0);
+
+  // Overflow samples report the largest finite bound.
+  obs::BoundedHistogram over(bounds, nb, obs::Gating::kAlways);
+  over.record(1e9);
+  EXPECT_DOUBLE_EQ(over.percentile(0.5), 60000.0);
+}
+
+TEST(Metrics, RegistryLatencySeriesKeyedByLabel) {
+  obs::Registry& r = obs::Registry::global();
+  obs::BoundedHistogram* agg = r.latency("serve.latency_ms", "");
+  obs::BoundedHistogram* b128 = r.latency("serve.latency_ms", "n128v1");
+  EXPECT_NE(agg, nullptr);
+  EXPECT_NE(b128, nullptr);
+  EXPECT_NE(agg, b128);  // distinct series per label
+  EXPECT_EQ(b128, r.latency("serve.latency_ms", "n128v1"));  // stable
+}
+
+TEST(Metrics, OpenMetricsTextRendersCanonicalSeries) {
+  obs::Registry& r = obs::Registry::global();
+  r.latency("serve.latency_ms", "n128v1")->record(42.0);
+  r.latency("serve.latency_ms", "")->record(42.0);
+  r.counter("serve.submitted", obs::Gating::kAlways)->inc();
+
+  const std::string text = r.openmetrics_text();
+  // Counters get the _total suffix under the tdg_ prefix.
+  EXPECT_NE(text.find("# TYPE tdg_serve_submitted counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("tdg_serve_submitted_total "), std::string::npos);
+  // The canonical drift histogram is pre-registered (zero if untouched).
+  EXPECT_NE(text.find("# TYPE tdg_profile_model_drift_pct histogram"),
+            std::string::npos);
+  // Labelled latency series: the "" label renders as "all", shape buckets
+  // keep their label, and every series is cumulative with an +Inf bucket.
+  EXPECT_NE(text.find("tdg_serve_latency_ms_bucket{bucket=\"all\",le=\"50\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("tdg_serve_latency_ms_bucket{bucket=\"n128v1\",le=\"+Inf\"}"),
+      std::string::npos);
+  EXPECT_NE(text.find("tdg_serve_latency_ms_count{bucket=\"n128v1\"}"),
+            std::string::npos);
+  // The exposition ends with the OpenMetrics terminator (the wire sentinel).
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder.
+
+TEST(FlightRecorder, DumpJsonParsesWithRequestTaggedEvents) {
+  obs::flight::clear();
+  obs::flight::record(obs::flight::EventKind::kMarker, "t.plain", 1, 2, 0);
+  {
+    obs::ContextScope ctx(obs::TraceContext{55, 0});
+    // kAmbientRequest (the default) resolves to the installed context.
+    obs::flight::record(obs::flight::EventKind::kError, "t.ambient", 3, 4);
+  }
+  obs::flight::record(obs::flight::EventKind::kMetric, "t.explicit", 5, 0,
+                      77);
+
+  const std::string text = obs::flight::dump_json("unit test");
+  json::Value v;
+  ASSERT_TRUE(json::parse(text, &v));
+  ASSERT_EQ(v.kind, json::Value::kObject);
+  ASSERT_NE(v.find("schema"), nullptr);
+  EXPECT_EQ(v.find("schema")->str, "tdg.flight.v1");
+  EXPECT_EQ(v.find("reason")->str, "unit test");
+  const json::Value* events = v.find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, json::Value::kArray);
+  long long ambient_req = -1, explicit_req = -1;
+  for (const json::Value& e : events->arr) {
+    const std::string name = e.find("name")->str;
+    if (name == "t.ambient") ambient_req = (long long)e.find("req")->num;
+    if (name == "t.explicit") explicit_req = (long long)e.find("req")->num;
+  }
+  EXPECT_EQ(ambient_req, 55);
+  EXPECT_EQ(explicit_req, 77);
+  obs::flight::clear();
+}
+
+TEST(FlightRecorder, RingBoundsEventsPerThread) {
+  obs::flight::clear();
+  for (int i = 0; i < 3 * obs::flight::kRingCapacity; ++i) {
+    obs::flight::record(obs::flight::EventKind::kMarker, "t.wrap", i, 0, 0);
+  }
+  const std::string text = obs::flight::dump_json("wrap test");
+  json::Value v;
+  ASSERT_TRUE(json::parse(text, &v));
+  int my_events = 0;
+  for (const json::Value& e : v.find("events")->arr) {
+    if (e.find("name")->str == "t.wrap") ++my_events;
+  }
+  // The ring holds exactly the last kRingCapacity events — fixed memory,
+  // however long the process has been running.
+  EXPECT_EQ(my_events, obs::flight::kRingCapacity);
+  obs::flight::clear();
+}
+
+TEST(FlightRecorder, DumpWritesToConfiguredPath) {
+  obs::flight::clear();
+  const std::string path = "obs_test_flight.json";
+  std::remove(path.c_str());
+  obs::flight::set_dump_path("");
+  EXPECT_FALSE(obs::flight::dump("no path set"));
+  obs::flight::set_dump_path(path);
+  obs::flight::record(obs::flight::EventKind::kMarker, "t.file", 0, 0, 9);
+  ASSERT_TRUE(obs::flight::dump("file test"));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  json::Value v;
+  ASSERT_TRUE(json::parse(ss.str(), &v));
+  EXPECT_EQ(v.find("reason")->str, "file test");
+  std::remove(path.c_str());
+  obs::flight::set_dump_path("");
+  obs::flight::clear();
+}
+
+TEST(FlightRecorder, ArmedSpansFeedTheRing) {
+  obs::flight::clear();
+  {
+    ScopedTracing armed;
+    obs::ContextScope ctx(obs::TraceContext{88, 0});
+    obs::Span span("t.flight_span");
+  }
+  const std::string text = obs::flight::dump_json("span feed");
+  json::Value v;
+  ASSERT_TRUE(json::parse(text, &v));
+  bool found = false;
+  for (const json::Value& e : v.find("events")->arr) {
+    if (e.find("name")->str == "t.flight_span" &&
+        e.find("kind")->str == "span") {
+      found = true;
+      EXPECT_EQ((long long)e.find("req")->num, 88);
+    }
+  }
+  EXPECT_TRUE(found);
+  obs::flight::clear();
 }
 
 }  // namespace

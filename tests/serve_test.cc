@@ -31,9 +31,14 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+#include <set>
+
 #include "common/fault.h"
 #include "common/rng.h"
 #include "la/generate.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace tdg {
 namespace {
@@ -415,8 +420,10 @@ TEST(ServeWireTest, FormatsOkAndErrResponses) {
   serve::Response ok;
   ok.outcome = serve::Outcome::kCompleted;
   ok.result.eigenvalues = {-1.5, 0.25, 3.0};
+  ok.request_id = 41;
   const std::string ok_line = serve::wire::format_response(4, ok);
-  EXPECT_NE(ok_line.find("ok id=4 outcome=completed n=3"), std::string::npos);
+  EXPECT_NE(ok_line.find("ok id=4 req=41 outcome=completed n=3"),
+            std::string::npos);
   EXPECT_NE(ok_line.find("w_min=-1.5"), std::string::npos);
   EXPECT_NE(ok_line.find("w_max=3"), std::string::npos);
 
@@ -424,8 +431,9 @@ TEST(ServeWireTest, FormatsOkAndErrResponses) {
   err.outcome = serve::Outcome::kRejected;
   err.code = ErrorCode::kOverloaded;
   err.message = "queue full: \"overflow\"";
+  err.request_id = 42;
   const std::string err_line = serve::wire::format_response(5, err);
-  EXPECT_NE(err_line.find("err id=5 outcome=rejected code=overloaded"),
+  EXPECT_NE(err_line.find("err id=5 req=42 outcome=rejected code=overloaded"),
             std::string::npos);
   // Embedded quotes are neutralized so the line stays parseable.
   EXPECT_NE(err_line.find("'overflow'"), std::string::npos);
@@ -440,6 +448,116 @@ TEST(ServeWireTest, FormatsStatsWithAccounting) {
   EXPECT_EQ(line.rfind("stats {", 0), 0u);
   EXPECT_NE(line.find("\"submitted\":3"), std::string::npos);
   EXPECT_NE(line.find("\"accounted\":true"), std::string::npos);
+}
+
+
+TEST(ServeTest, ReservoirAndHistogramPercentilesAgreeWithinOneBucket) {
+  serve::ServeCore core;
+  std::vector<serve::Ticket> tickets;
+  for (int i = 0; i < 32; ++i) {
+    tickets.push_back(core.submit(test_matrix(48, 100 + i)));
+  }
+  for (auto& t : tickets) t.response.get();
+  const serve::ServeStats s = core.stats();
+  ASSERT_GT(s.hist_p50_ms, 0.0);
+  EXPECT_GE(s.hist_p95_ms, s.hist_p50_ms);
+  EXPECT_GE(s.hist_p99_ms, s.hist_p95_ms);
+
+  // Both estimators summarize the same resolutions: the histogram reports
+  // the upper bound of the percentile's ladder bucket, so it must land in
+  // the same bucket as the reservoir value or the one adjacent (ties at a
+  // bucket edge can fall either way).
+  int nb = 0;
+  const double* bounds = obs::latency_bounds_ms(&nb);
+  const auto ladder_index = [&](double v) {
+    for (int i = 0; i < nb; ++i) {
+      if (v <= bounds[i]) return i;
+    }
+    return nb - 1;
+  };
+  const auto expect_close = [&](double reservoir_p, double hist_p,
+                                const char* which) {
+    EXPECT_LE(std::abs(ladder_index(reservoir_p) - ladder_index(hist_p)), 1)
+        << which << ": reservoir=" << reservoir_p << "ms hist=" << hist_p
+        << "ms";
+  };
+  expect_close(s.p50_ms, s.hist_p50_ms, "p50");
+  expect_close(s.p95_ms, s.hist_p95_ms, "p95");
+  expect_close(s.p99_ms, s.hist_p99_ms, "p99");
+}
+
+TEST(ServeTest, MintsUniqueRequestIdsIncludingRejects) {
+  serve::ServeOptions sopts;
+  sopts.queue_capacity = 2;
+  sopts.coalesce_window_ms = 50.0;  // hold the queue so extras reject
+  serve::ServeCore core(sopts);
+  std::vector<serve::Ticket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    tickets.push_back(core.submit(test_matrix(32, 7 + i)));
+  }
+  std::set<long long> ids;
+  int rejected = 0;
+  for (auto& t : tickets) {
+    const serve::Response r = t.response.get();
+    EXPECT_GT(r.request_id, 0) << "every response carries a minted id";
+    ids.insert(r.request_id);
+    if (r.outcome == serve::Outcome::kRejected) ++rejected;
+  }
+  EXPECT_EQ(ids.size(), tickets.size()) << "request ids must be unique";
+  EXPECT_GT(rejected, 0) << "capacity 2 with 6 submits must shed some";
+}
+
+TEST(ServeTest, ArmedTraceSpansCarryTheOwningRequestId) {
+  obs::clear_trace();
+  obs::arm_tracing();
+  std::set<long long> ids;
+  {
+    serve::ServeCore core;
+    std::vector<serve::Ticket> tickets;
+    for (int i = 0; i < 4; ++i) {
+      tickets.push_back(core.submit(test_matrix(40, 60 + i)));
+    }
+    for (auto& t : tickets) {
+      const serve::Response r = t.response.get();
+      ASSERT_EQ(r.outcome, serve::Outcome::kCompleted);
+      ids.insert(r.request_id);
+    }
+    core.drain();
+  }
+  obs::disarm_tracing();
+
+  // Every per-problem span the service executed must be tagged with one of
+  // the ids handed back on the wire — the join a trace consumer performs.
+  int problem_spans = 0;
+  for (const obs::SpanEvent& e : obs::trace_snapshot()) {
+    if (std::string(e.name) != "batch.problem") continue;
+    ++problem_spans;
+    EXPECT_EQ(ids.count(e.request_id), 1u)
+        << "batch.problem span tagged with unknown request "
+        << e.request_id;
+  }
+  EXPECT_EQ(problem_spans, 4);
+  obs::clear_trace();
+}
+
+TEST(ServeWireTest, ParsesMetricsVerbAndFormatsOpenMetrics) {
+  EXPECT_EQ(serve::wire::parse_line("metrics").kind,
+            serve::wire::ParsedRequest::kMetrics);
+  // Touch the serve layer so the canonical series exist and are non-empty.
+  {
+    serve::ServeCore core;
+    core.submit(test_matrix(32, 3)).response.get();
+  }
+  const std::string text = serve::wire::format_metrics();
+  EXPECT_NE(text.find("# TYPE tdg_serve_latency_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("tdg_serve_latency_ms_bucket{bucket=\"all\""),
+            std::string::npos);
+  EXPECT_NE(text.find("tdg_serve_submitted_total "), std::string::npos);
+  // "# EOF" both terminates the OpenMetrics payload and frames the verb's
+  // multi-line response on the wire.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
 }
 
 }  // namespace

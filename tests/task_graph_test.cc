@@ -12,10 +12,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "common/check.h"
 #include "common/fault.h"
+#include "common/json.h"
 #include "common/task_graph.h"
 #include "common/thread_pool.h"
+#include "obs/flight_recorder.h"
+#include "obs/obs.h"
 
 namespace tdg {
 namespace {
@@ -263,6 +271,71 @@ TEST(TaskGraph, RunTwiceIsAnError) {
 TEST(TaskGraph, ForwardOrSelfDependencyIsAnError) {
   TaskGraph g;
   EXPECT_THROW(g.add("t.bad", NodeClass::kPooled, [] {}, {0}), Error);
+}
+
+
+TEST(TaskGraph, StallDumpsFlightRecorderNamingNodeAndRequest) {
+  ThreadLimit scope(2);
+  const std::string path = "task_graph_flight.json";
+  std::remove(path.c_str());
+  obs::flight::clear();
+  obs::flight::set_dump_path(path);
+
+  struct Wedge {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+  };
+  auto wedge = std::make_shared<Wedge>();
+  try {
+    // The graph runs under an ambient request context (the serve layer's
+    // shape): the stall dump must name the wedged node AND this request.
+    obs::ContextScope ctx(obs::TraceContext{4242, 0});
+    TaskGraph g;
+    g.set_stall_timeout_ms(100);
+    g.add("t.wedged_dump", NodeClass::kPooled, [wedge] {
+      std::unique_lock<std::mutex> lk(wedge->mu);
+      wedge->cv.wait(lk, [&] { return wedge->release; });
+    });
+    g.add("t.driver_busy", NodeClass::kDriver, [] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    });
+    g.run();
+    FAIL() << "expected kPipelineStall";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kPipelineStall);
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "stall did not write a flight dump";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  json::Value v;
+  ASSERT_TRUE(json::parse(ss.str(), &v));
+  EXPECT_EQ(v.find("schema")->str, "tdg.flight.v1");
+  // The dump reason names the wedged node and the owning request.
+  const std::string reason = v.find("reason")->str;
+  EXPECT_NE(reason.find("t.wedged_dump"), std::string::npos) << reason;
+  EXPECT_NE(reason.find("4242"), std::string::npos) << reason;
+  // And the ring holds the taskgraph.stall error event, request-tagged.
+  bool found = false;
+  for (const json::Value& e : v.find("events")->arr) {
+    if (e.find("name")->str == "taskgraph.stall") {
+      found = true;
+      EXPECT_EQ((long long)e.find("req")->num, 4242);
+      EXPECT_EQ((long long)e.find("a")->num, 0);  // wedged node id
+    }
+  }
+  EXPECT_TRUE(found);
+
+  {
+    std::lock_guard<std::mutex> lk(wedge->mu);
+    wedge->release = true;
+  }
+  wedge->cv.notify_all();
+  std::remove(path.c_str());
+  obs::flight::set_dump_path("");
+  obs::flight::clear();
 }
 
 }  // namespace
