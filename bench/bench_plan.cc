@@ -99,9 +99,9 @@ int run(int argc, char** argv) {
     planned.tridiag.sytrd_nb = p.sytrd_nb;
     planned.tridiag.bc_threads = p.bc_threads;
     planned.tridiag.max_parallel_sweeps = p.max_parallel_sweeps;
-    planned.smlsiz = p.smlsiz;
-    planned.bt_kw = p.bt_kw;
-    planned.q2_group = p.q2_group;
+    planned.knobs.smlsiz = p.smlsiz;
+    planned.knobs.bt_kw = p.bt_kw;
+    planned.knobs.q2_group = p.q2_group;
     const RunResult plv = run_evd(a.view(), planned, reps);
 
     const char* source = plan::to_string(p.source);

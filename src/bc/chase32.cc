@@ -1,0 +1,157 @@
+#include "bc/chase32.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "lapack/lapack32.h"
+#include "obs/obs.h"
+
+namespace tdg::bc {
+
+namespace {
+
+/// Float port of bulge_chase.h detail::apply_step for the dense layout.
+void apply_step_f(MatrixViewF a, index_t s, index_t len, const float* v,
+                  float tau, index_t c, index_t b, float* wbuf) {
+  const index_t n = a.rows;
+
+  // --- B_ol: left update of columns (c, s).
+  for (index_t q = c + 1; q < s; ++q) {
+    float dotv = 0.0f;
+    for (index_t r = 0; r < len; ++r) dotv += v[r] * a(s + r, q);
+    const float tv = tau * dotv;
+    for (index_t r = 0; r < len; ++r) a(s + r, q) -= tv * v[r];
+  }
+
+  // --- B_d: two-sided symmetric update, lower triangle only.
+  for (index_t r = 0; r < len; ++r) {
+    float sum = 0.0f;
+    for (index_t q = 0; q < len; ++q) {
+      const index_t i = s + std::max(r, q);
+      const index_t j = s + std::min(r, q);
+      sum += a(i, j) * v[q];
+    }
+    wbuf[r] = tau * sum;
+  }
+  float wv = 0.0f;
+  for (index_t r = 0; r < len; ++r) wv += wbuf[r] * v[r];
+  const float corr = -0.5f * tau * wv;
+  for (index_t r = 0; r < len; ++r) wbuf[r] += corr * v[r];
+  for (index_t q = 0; q < len; ++q) {
+    for (index_t r = q; r < len; ++r) {
+      a(s + r, s + q) -= v[r] * wbuf[q] + wbuf[r] * v[q];
+    }
+  }
+
+  // --- B_od: right update of rows [s+len, s+len+b), creates the next bulge.
+  const index_t jend = std::min(s + len + b, n);
+  for (index_t rr = s + len; rr < jend; ++rr) {
+    float dotv = 0.0f;
+    for (index_t q = 0; q < len; ++q) dotv += a(rr, s + q) * v[q];
+    const float tv = tau * dotv;
+    for (index_t q = 0; q < len; ++q) a(rr, s + q) -= tv * v[q];
+  }
+}
+
+float eliminate_column_f(MatrixViewF a, index_t c, index_t s, index_t len,
+                         float* vtail) {
+  float alpha = a(s, c);
+  for (index_t r = 1; r < len; ++r) vtail[r - 1] = a(s + r, c);
+  const float tau = lapack::larfg_f(len, alpha, vtail);
+  if (tau != 0.0f) {
+    a(s, c) = alpha;
+    for (index_t r = 1; r < len; ++r) a(s + r, c) = 0.0f;
+  }
+  return tau;
+}
+
+void log_step(SweepReflectors32* log, const std::vector<float>& v, index_t s,
+              index_t len, float tau) {
+  if (log == nullptr) return;
+  const index_t voff = static_cast<index_t>(log->vpool.size());
+  log->vpool.insert(log->vpool.end(), v.begin() + 1, v.begin() + len);
+  log->steps.push_back({s, len, tau, voff});
+}
+
+void chase_sweep_f(MatrixViewF a, index_t b, index_t i,
+                   SweepReflectors32* log) {
+  const index_t n = a.rows;
+  const index_t rlen = b;  // target_d = 1: ordinary tridiagonalising chase
+  std::vector<float> v(static_cast<std::size_t>(std::max<index_t>(rlen, 1)));
+  std::vector<float> w(static_cast<std::size_t>(std::max<index_t>(rlen, 1)));
+
+  // Step 1: eliminate column i below the first sub-diagonal.
+  {
+    const index_t s = i + 1;
+    const index_t len = std::min(rlen, n - s);
+    if (len >= 2) {
+      v[0] = 1.0f;
+      const float tau = eliminate_column_f(a, i, s, len, v.data() + 1);
+      if (tau != 0.0f) {
+        apply_step_f(a, s, len, v.data(), tau, i, b, w.data());
+      }
+      log_step(log, v, s, len, tau);
+    }
+  }
+
+  // Chase: eliminate the first bulge column at stride b.
+  for (index_t c = i + 1; c + b <= n - 1; c += b) {
+    const index_t s = c + b;
+    const index_t len = std::min(rlen, n - s);
+    if (len < 2) break;
+    v[0] = 1.0f;
+    const float tau = eliminate_column_f(a, c, s, len, v.data() + 1);
+    if (tau != 0.0f) {
+      apply_step_f(a, s, len, v.data(), tau, c, b, w.data());
+    }
+    log_step(log, v, s, len, tau);
+  }
+}
+
+}  // namespace
+
+void chase_dense_f(MatrixViewF a, index_t b, ChaseLog32* log) {
+  TDG_CHECK(a.rows == a.cols, "chase_dense_f: matrix must be square");
+  TDG_CHECK(b >= 1, "chase_dense_f: bandwidth must be positive");
+  const index_t n = a.rows;
+  if (log != nullptr) {
+    log->n = n;
+    log->b = b;
+    log->sweeps.assign(static_cast<std::size_t>(std::max<index_t>(n - 2, 0)),
+                       SweepReflectors32{});
+  }
+  if (b <= 1) return;
+  obs::Span span("bulge_chase_f");
+  span.attr("n", n);
+  span.attr("b", b);
+  for (index_t i = 0; i + 2 < n; ++i) {
+    SweepReflectors32* sl =
+        (log != nullptr) ? &log->sweeps[static_cast<std::size_t>(i)] : nullptr;
+    chase_sweep_f(a, b, i, sl);
+  }
+}
+
+void apply_q2_left_f(const ChaseLog32& log, MatrixViewF c) {
+  TDG_CHECK(c.rows == log.n, "apply_q2_left_f: row mismatch");
+  std::vector<float> v(static_cast<std::size_t>(std::max<index_t>(log.b, 1)));
+  std::vector<float> work(static_cast<std::size_t>(c.cols));
+
+  // Q2 = H_1 H_2 ... H_K in execution order, so Q2 * C applies reflectors
+  // in reverse execution order (last sweep's last step first).
+  for (auto sweep = log.sweeps.rbegin(); sweep != log.sweeps.rend(); ++sweep) {
+    for (auto step = sweep->steps.rbegin(); step != sweep->steps.rend();
+         ++step) {
+      if (step->tau == 0.0f) continue;
+      v[0] = 1.0f;
+      for (index_t r = 1; r < step->len; ++r) {
+        v[static_cast<std::size_t>(r)] =
+            sweep->vpool[static_cast<std::size_t>(step->voff + r - 1)];
+      }
+      lapack::larf_left_f(v.data(), step->tau,
+                          c.block(step->row0, 0, step->len, c.cols),
+                          work.data());
+    }
+  }
+}
+
+}  // namespace tdg::bc

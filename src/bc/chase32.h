@@ -1,0 +1,43 @@
+// FP32 stage-2 bulge chasing for the mixed-precision EVD engine: a float
+// port of the sequential dense-layout chase (bulge_chase.h, chase_dense)
+// with its own reflector log and Q2 application. The float chase always
+// runs on the dense-embedded band — the O(n^2 b) stage is not the
+// mixed-precision bottleneck, so the packed-layout and pipelined variants
+// stay FP64-only.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix32.h"
+
+namespace tdg::bc {
+
+/// One float chase reflector (v(0) = 1 implicit, tail in the sweep pool).
+struct Reflector32 {
+  index_t row0 = 0;
+  index_t len = 0;
+  float tau = 0.0f;
+  index_t voff = 0;
+};
+
+struct SweepReflectors32 {
+  std::vector<Reflector32> steps;
+  std::vector<float> vpool;
+};
+
+/// All reflectors of a float chase: T = Q2^T B Q2.
+struct ChaseLog32 {
+  index_t n = 0;
+  index_t b = 0;
+  std::vector<SweepReflectors32> sweeps;
+};
+
+/// Sequential float bulge chase of a dense-embedded band matrix; on return
+/// the lower triangle of `a` is tridiagonal. `log` (optional) receives the
+/// reflectors for the Q2 back transformation.
+void chase_dense_f(MatrixViewF a, index_t b, ChaseLog32* log);
+
+/// C <- Q2 * C with the logged float reflectors.
+void apply_q2_left_f(const ChaseLog32& log, MatrixViewF c);
+
+}  // namespace tdg::bc

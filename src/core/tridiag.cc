@@ -57,6 +57,7 @@ TridiagResult tridiag_two_stage(ConstMatrixView a,
     bo.use_square_syr2k = opts.use_square_syr2k;
     bo.threads = opts.threads;
     bo.lookahead = std::max<index_t>(0, opts.knobs.lookahead);
+    bo.want_factors = opts.want_factors;
     r.k = bo.k;
     r.stage1 = sbr::dbbr(work.view(), bo);
   } else {
@@ -64,6 +65,7 @@ TridiagResult tridiag_two_stage(ConstMatrixView a,
     bo.use_square_syr2k = opts.use_square_syr2k;
     bo.threads = opts.threads;
     bo.lookahead = std::max<index_t>(0, opts.knobs.lookahead);
+    bo.want_factors = opts.want_factors;
     r.stage1 = sbr::sy2sb(work.view(), b, bo);
   }
   r.seconds_stage1 = t.seconds();
@@ -154,16 +156,16 @@ void apply_q(const TridiagResult& r, MatrixView c, const ApplyQOptions& opts,
   // Q = Q1 Q2, so apply Q2 first, then Q1. Q2 goes through the chunked
   // (column-parallel) application; within-sweep reflectors have disjoint
   // row ranges, so it matches the one-at-a-time order bit for bit.
-  bt::apply_q2_left_blocked(r.stage2, c, o.q2_group);
+  bt::apply_q2_left_blocked(r.stage2, c, o.knobs.q2_group);
   if (breakdown != nullptr) breakdown->seconds_q2 = t.seconds();
   t.reset();
-  bt::apply_q1_blocked(r.stage1, o.bt_kw, c);
+  bt::apply_q1_blocked(r.stage1, o.knobs.bt_kw, c);
   if (breakdown != nullptr) breakdown->seconds_q1 = t.seconds();
 }
 
 void apply_q(const TridiagResult& r, MatrixView c, index_t bt_kw) {
   ApplyQOptions opts;
-  opts.bt_kw = bt_kw;
+  opts.knobs.bt_kw = bt_kw;
   apply_q(r, c, opts);
 }
 

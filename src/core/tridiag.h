@@ -109,15 +109,11 @@ TridiagResult tridiagonalize(ConstMatrixView a, const TridiagOptions& opts);
 struct ApplyQOptions {
   /// Resolution policy for knobs left at 0 below.
   PlanMode plan = PlanMode::kHeuristic;
-  /// Consolidated knob sub-struct (preferred spelling; bt_kw / q2_group are
-  /// read from here first). Knobs::smlsiz is ignored by apply_q.
+  /// Consolidated knob sub-struct: knobs.bt_kw is the stage-1 blocked group
+  /// width, knobs.q2_group the stage-2 reflector-chunk size (0 = auto).
+  /// Knobs::smlsiz is ignored by apply_q. The deprecated loose aliases
+  /// (bt_kw / q2_group) were removed after their one-release window.
   plan::Knobs knobs;
-  /// DEPRECATED alias for knobs.bt_kw (one release; still forwards, knobs
-  /// wins when both are set): stage-1 blocked group width. 0 = auto.
-  index_t bt_kw = 0;
-  /// DEPRECATED alias for knobs.q2_group: stage-2 reflector-chunk size for
-  /// the blocked Q2 application. 0 = auto.
-  index_t q2_group = 0;
   /// Thread budget for the back-transformation kernels (0 = inherit).
   int threads = 0;
 };

@@ -95,6 +95,7 @@ class WorkQueue {
 EvdOptions per_problem_options(const BatchOptions& opts) {
   EvdOptions o;
   o.vectors = opts.vectors;
+  o.mode = opts.mode;
   o.solver = opts.solver;
   o.tridiag = opts.tridiag;
   o.tridiag.threads = 1;
@@ -110,7 +111,7 @@ EvdOptions per_problem_options(const BatchOptions& opts) {
 
 plan::Plan batch_bucket_plan(index_t n, const BatchOptions& opts) {
   const plan::ProblemShape rep{plan::pow2_bucket(std::max<index_t>(n, 1)),
-                               opts.vectors, 0};
+                               opts.vectors, 0, opts.mode};
   plan::PlannerOptions popts;
   popts.threads = 1;  // the intra-problem budget every batch worker runs at
   return plan::plan_for(rep, opts.plan, popts);
@@ -130,6 +131,11 @@ BatchResult eigh_batched(const std::vector<ConstMatrixView>& problems,
       opts.trace_contexts.empty() ||
           opts.trace_contexts.size() == problems.size(),
       "eigh_batched: trace_contexts must be empty or parallel to problems");
+  TDG_CHECK(opts.modes.empty() || opts.modes.size() == problems.size(),
+            "eigh_batched: modes must be empty or parallel to problems");
+  const auto slot_mode = [&opts](std::size_t s) {
+    return opts.modes.empty() ? opts.mode : opts.modes[s];
+  };
 
   WallTimer timer;
   const int workers = static_cast<int>(std::clamp<index_t>(
@@ -159,11 +165,13 @@ BatchResult eigh_batched(const std::vector<ConstMatrixView>& problems,
   } else {
     for (std::size_t i = 0; i < problems.size(); ++i) {
       const index_t n = std::max<index_t>(problems[i].rows, 1);
-      const std::string key =
-          plan::cache_key(plan::ProblemShape{n, opts.vectors, 0});
+      const std::string key = plan::cache_key(
+          plan::ProblemShape{n, opts.vectors, 0, slot_mode(i)});
       auto it = bucket_plans.find(key);
       if (it == bucket_plans.end()) {
-        it = bucket_plans.emplace(key, batch_bucket_plan(n, opts)).first;
+        BatchOptions slot_opts = opts;
+        slot_opts.mode = slot_mode(i);
+        it = bucket_plans.emplace(key, batch_bucket_plan(n, slot_opts)).first;
         m.plans_resolved->inc();
       } else {
         ++res.bucket_plan_hits;
@@ -224,7 +232,9 @@ BatchResult eigh_batched(const std::vector<ConstMatrixView>& problems,
             opts.tokens.empty() ? nullptr : opts.tokens[s]);
         cancel::poll("batch_problem");
         fault::maybe_inject("batch_problem");
-        res.results[s] = eigh(problems[s], popt, *plan_of[s]);
+        EvdOptions slot_popt = popt;
+        slot_popt.mode = slot_mode(s);
+        res.results[s] = eigh(problems[s], slot_popt, *plan_of[s]);
         res.status[s].ok = true;
         if (!res.results[s].recovery.empty()) {
           recovered.fetch_add(1, std::memory_order_relaxed);

@@ -54,6 +54,15 @@ namespace tdg::eig {
 struct BatchOptions {
   /// Compute eigenvectors for every problem in the batch.
   bool vectors = true;
+  /// Batch-wide execution mode (plan::EvdMode; see EvdOptions::mode for the
+  /// normalization rules). Per-slot overrides come from `modes`.
+  plan::EvdMode mode = plan::EvdMode::kStandard;
+  /// Optional per-problem execution modes, parallel to `problems` when
+  /// non-empty (size checked). Slot i runs modes[i] instead of the
+  /// batch-wide `mode`; shape buckets (and hence shared plans) key on the
+  /// normalized mode/precision, so a mixed-mode batch plans each
+  /// (bucket, mode) pair once.
+  std::vector<plan::EvdMode> modes;
   /// How the shared per-bucket plans are produced (src/plan/plan.h).
   PlanMode plan = PlanMode::kHeuristic;
   /// Primary tridiagonal solver per problem (fallback chain still applies).
@@ -117,9 +126,11 @@ struct BatchResult {
 
 /// The plan a batch under `opts` shares for problems of size n: the planner
 /// consulted once for the bucket-representative shape (pow2_bucket(n),
-/// opts.vectors, no subset) at the intra-problem thread budget of 1.
-/// eigh(a, per-problem opts, batch_bucket_plan(n, opts)) reproduces a batch
-/// slot bit for bit.
+/// opts.vectors, no subset, the batch-wide mode) at the intra-problem
+/// thread budget of 1. eigh(a, per-problem opts, batch_bucket_plan(n,
+/// opts)) reproduces a batch slot bit for bit. Slots with a per-slot mode
+/// override share the plan for that mode instead (same call with opts.mode
+/// set to the slot's mode).
 plan::Plan batch_bucket_plan(index_t n, const BatchOptions& opts = {});
 
 /// Run B independent symmetric EVDs (lower triangles read). Never throws

@@ -11,9 +11,11 @@
 #include "common/trace.h"
 #include "eig/bisect.h"
 #include "eig/eig.h"
+#include "eig/mixed.h"
 #include "gpumodel/bc_pipeline_model.h"
 #include "gpumodel/device_spec.h"
 #include "gpumodel/kernel_model.h"
+#include "la/workspace.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "plan/plan.h"
@@ -29,7 +31,7 @@ namespace {
 /// planner consultation entirely.
 plan::ResolvedPipeline resolve_evd(const EvdOptions& opts, index_t n,
                                    index_t subset, const plan::Plan* pre) {
-  const plan::ProblemShape shape{n, opts.vectors, subset};
+  const plan::ProblemShape shape{n, opts.vectors, subset, opts.mode};
   if (pre != nullptr) {
     return plan::resolve_and_validate(shape, *pre, opts.tridiag,
                                       merged_knobs(opts));
@@ -64,15 +66,30 @@ void record_model_drift(const EvdProfile& profile) {
 }  // namespace
 
 plan::Knobs merged_knobs(const EvdOptions& opts) {
-  // Precedence: the new sub-struct, then the deprecated loose fields, then
-  // whatever rides on the tridiag options (resolve_and_validate folds that
-  // last one in itself, but merging here keeps this function the complete
-  // answer for callers).
-  plan::Knobs legacy;
-  legacy.smlsiz = opts.smlsiz;
-  legacy.bt_kw = opts.bt_kw;
-  legacy.q2_group = opts.q2_group;
-  return plan::merged(plan::merged(opts.knobs, legacy), opts.tridiag.knobs);
+  // Precedence: the options-level sub-struct, then whatever rides on the
+  // tridiag options (resolve_and_validate folds that one in itself, but
+  // merging here keeps this function the complete answer for callers).
+  return plan::merged(opts.knobs, opts.tridiag.knobs);
+}
+
+EvdOptions validate(const EvdOptions& opts) {
+  EvdOptions out = opts;
+  const plan::ProblemShape eff =
+      plan::normalized(plan::ProblemShape{0, opts.vectors, 0, opts.mode});
+  out.vectors = eff.vectors;
+  out.mode = eff.mode;
+  out.knobs = merged_knobs(opts);
+  out.tridiag.knobs = plan::Knobs{};  // folded into out.knobs above
+  TDG_CHECK(out.knobs.smlsiz >= 0 && out.knobs.bt_kw >= 0 &&
+                out.knobs.q2_group >= 0 && out.knobs.lookahead >= -1,
+            "eigh: negative knob");
+  TDG_CHECK(out.knobs.refine.max_iters >= 0 && out.knobs.refine.tol >= 0.0,
+            "eigh: negative refinement knob");
+  TDG_CHECK(out.tridiag.b >= 0 && out.tridiag.k >= 0 &&
+                out.tridiag.sytrd_nb >= 0 &&
+                out.tridiag.max_parallel_sweeps >= 0,
+            "eigh: negative tridiag knob");
+  return out;
 }
 
 namespace {
@@ -103,6 +120,15 @@ void count_recovery(const std::string& path) {
   } else if (path == "steqr->bisect") {
     steqr_bisect->inc();
   }
+}
+
+/// Stamp the dense-workspace high-water mark (la/workspace.h) into the
+/// result and the registry gauge. Always-on: one atomic load per eigh.
+void record_workspace(EvdResult& res) {
+  static obs::Gauge* const peak = obs::Registry::global().gauge(
+      "evd.peak_workspace_bytes", obs::Gating::kAlways);
+  res.peak_workspace_bytes = la::workspace_peak_bytes();
+  peak->update_max(static_cast<long long>(res.peak_workspace_bytes));
 }
 
 /// Build a PhaseProfile from a measured time plus the shape trace the phase
@@ -207,9 +233,15 @@ EvdResult eigh_impl(ConstMatrixView a, const EvdOptions& opts,
   const index_t n = a.rows;
   EvdResult res;
   if (n == 0) return res;
+  // Canonicalize the mode/vectors axis once; every decision below reads the
+  // effective shape, never the raw request.
+  const plan::ProblemShape eff =
+      plan::normalized(plan::ProblemShape{n, opts.vectors, 0, opts.mode});
+  res.mode = eff.mode;
   obs::Span eigh_span("eigh");
   eigh_span.attr("n", n);
-  eigh_span.attr("vectors", opts.vectors ? 1 : 0);
+  eigh_span.attr("vectors", eff.vectors ? 1 : 0);
+  eigh_span.attr("mode", static_cast<index_t>(eff.mode));
   // Phase-boundary cancellation polls (common/cancel.h): entry, after
   // tridiagonalization, and before the back-transform. The phases
   // themselves poll at their own inner boundaries.
@@ -220,9 +252,59 @@ EvdResult eigh_impl(ConstMatrixView a, const EvdOptions& opts,
   // merge GEMMs, and the Q2/Q1 back transformations.
   ThreadLimit thread_scope(opts.tridiag.threads);
 
-  plan::ResolvedPipeline cfg = resolve_evd(opts, n, /*subset=*/0, pre);
+  EvdOptions ropts = opts;  // the canonicalized request
+  ropts.vectors = eff.vectors;
+  ropts.mode = eff.mode;
+  plan::ResolvedPipeline cfg = resolve_evd(ropts, n, /*subset=*/0, pre);
   cfg.tridiag.check_finite = false;  // screened above; don't rescan
   res.plan_source = plan::source_string(cfg.plan);
+
+  // Mixed precision: FP32 reduction engine + FP64 refinement. A failed
+  // residual test (or a tridiagonal-solver breakdown inside the engine) is
+  // recovered by falling through to the standard FP64 pipeline below, with
+  // the plan re-resolved at FP64 so provenance names the run that actually
+  // produced the result.
+  std::string recovery_prefix;
+  if (eff.precision == plan::Precision::kFp32 && n >= 3) {
+    static obs::Counter* const refine_iters = obs::Registry::global().counter(
+        "evd.refine_iters", obs::Gating::kAlways);
+    static obs::Counter* const fp32_fallbacks =
+        obs::Registry::global().counter("evd.fp32_fallbacks",
+                                        obs::Gating::kAlways);
+    MixedOutcome mo =
+        eigh_mixed(a, cfg, opts.solver == TridiagSolver::kDivideConquer);
+    refine_iters->inc(mo.refine.iters);
+    if (mo.ok) {
+      res.eigenvalues = std::move(mo.eigenvalues);
+      res.eigenvectors = std::move(mo.eigenvectors);
+      res.refine_iters = mo.refine.iters;
+      res.refine_residual = mo.refine.residual;
+      res.seconds_tridiag = mo.seconds_fp32;
+      res.seconds_solver = mo.seconds_solver;
+      res.seconds_refine = mo.seconds_refine;
+      record_workspace(res);
+      return res;
+    }
+    fp32_fallbacks->inc();
+    recovery_prefix = "fp32->fp64";
+    res.recovery = recovery_prefix;
+    res.mode = plan::EvdMode::kStandard;
+    ropts.mode = plan::EvdMode::kStandard;
+    cfg = resolve_evd(ropts, n, /*subset=*/0, pre);
+    cfg.tridiag.check_finite = false;
+    res.plan_source = plan::source_string(cfg.plan);
+  }
+
+  // Record a taken degradation path: the solver chain joined onto any
+  // fp32->fp64 prefix ("fp32->fp64,dc->steqr" when both happened).
+  std::string solver_chain;
+  auto note_recovery = [&](std::string chain) {
+    count_recovery(chain);
+    solver_chain = std::move(chain);
+    res.recovery = recovery_prefix.empty()
+                       ? solver_chain
+                       : recovery_prefix + "," + solver_chain;
+  };
 
   // Profiling: one shape recorder per phase. The kernels record their ops
   // on the dispatching thread, so scoping the recorder around each phase
@@ -247,7 +329,7 @@ EvdResult eigh_impl(ConstMatrixView a, const EvdOptions& opts,
   res.eigenvalues = tri.d;
   std::vector<double> e = tri.e;
 
-  if (!opts.vectors) {
+  if (!eff.vectors) {
     t.reset();
     // Values only: implicit QL without vector accumulation is the cheapest
     // (this is also what the paper's "w/o vectors" path amounts to).
@@ -260,8 +342,7 @@ EvdResult eigh_impl(ConstMatrixView a, const EvdOptions& opts,
         steqr(res.eigenvalues, e, nullptr);
       } catch (const Error& err) {
         if (!opts.solver_fallback || !recoverable(err)) throw;
-        res.recovery = "steqr->bisect";
-        count_recovery(res.recovery);
+        note_recovery("steqr->bisect");
         res.eigenvalues = eigenvalues_bisect(tri.d, tri.e, 0, n - 1);
       }
     }
@@ -281,6 +362,7 @@ EvdResult eigh_impl(ConstMatrixView a, const EvdOptions& opts,
       }
       record_model_drift(res.profile);
     }
+    record_workspace(res);
     return res;
   }
 
@@ -302,8 +384,7 @@ EvdResult eigh_impl(ConstMatrixView a, const EvdOptions& opts,
         solved = true;
       } catch (const Error& err) {
         if (!opts.solver_fallback || !recoverable(err)) throw;
-        res.recovery = "dc->steqr";
-        count_recovery(res.recovery);
+        note_recovery("dc->steqr");
         try_steqr = true;
       }
     }
@@ -317,9 +398,8 @@ EvdResult eigh_impl(ConstMatrixView a, const EvdOptions& opts,
         solved = true;
       } catch (const Error& err) {
         if (!opts.solver_fallback || !recoverable(err)) throw;
-        res.recovery = res.recovery.empty() ? "steqr->bisect"
-                                            : "dc->steqr->bisect";
-        count_recovery(res.recovery);
+        note_recovery(solver_chain.empty() ? "steqr->bisect"
+                                           : "dc->steqr->bisect");
       }
     }
     if (!solved) {
@@ -362,6 +442,7 @@ EvdResult eigh_impl(ConstMatrixView a, const EvdOptions& opts,
     }
     record_model_drift(res.profile);
   }
+  record_workspace(res);
   return res;
 }
 
@@ -379,11 +460,21 @@ EvdResult eigh_range_impl(ConstMatrixView a, index_t il, index_t iu,
 
   ThreadLimit thread_scope(opts.tridiag.threads);
 
+  // The subset path has no FP32 engine (bisection + inverse iteration are
+  // already O(n^2)-dominated), so a kMixedPrecision request runs the
+  // standard FP64 pipeline; the values-only axis still applies.
+  EvdOptions ropts = opts;
+  const plan::ProblemShape eff =
+      plan::normalized(plan::ProblemShape{n, opts.vectors, 0, opts.mode});
+  ropts.vectors = eff.vectors;
+  ropts.mode = eff.vectors ? plan::EvdMode::kStandard
+                           : plan::EvdMode::kValuesOnly;
   plan::ResolvedPipeline cfg =
-      resolve_evd(opts, n, /*subset=*/iu - il + 1, pre);
+      resolve_evd(ropts, n, /*subset=*/iu - il + 1, pre);
   cfg.tridiag.check_finite = false;  // screened above; don't rescan
 
   EvdResult res;
+  res.mode = ropts.mode;
   res.plan_source = plan::source_string(cfg.plan);
   WallTimer t;
   TridiagResult tri = tridiagonalize(a, cfg.tridiag);
@@ -391,7 +482,7 @@ EvdResult eigh_range_impl(ConstMatrixView a, index_t il, index_t iu,
 
   t.reset();
   res.eigenvalues = eigenvalues_bisect(tri.d, tri.e, il, iu);
-  if (opts.vectors) {
+  if (eff.vectors) {
     const index_t k = iu - il + 1;
     Matrix z(n, k);
     inverse_iteration(tri.d, tri.e, res.eigenvalues, z.view());
@@ -404,6 +495,7 @@ EvdResult eigh_range_impl(ConstMatrixView a, index_t il, index_t iu,
   } else {
     res.seconds_solver = t.seconds();
   }
+  record_workspace(res);
   return res;
 }
 

@@ -23,23 +23,27 @@ enum class TridiagSolver {
 
 struct EvdOptions {
   bool vectors = true;
+  /// Execution mode of the request (the first-class axis of this API; see
+  /// plan::EvdMode). Interactions are canonicalized by plan::normalized():
+  /// vectors == false maps to kValuesOnly; kValuesOnly forces vectors off;
+  /// kMixedPrecision without vectors runs kValuesOnly at FP64 (there is
+  /// nothing for the FP64 refinement to verify). kMixedPrecision runs the
+  /// FP32 reduction engine, then FP64 Ogita–Aishima refinement; if the
+  /// residual test fails, the driver reruns the standard FP64 path and
+  /// records recovery = "fp32->fp64".
+  plan::EvdMode mode = plan::EvdMode::kStandard;
   /// How unset (zero) knobs across the whole pipeline — tridiag, solver
   /// base case, back transformations — are resolved (src/plan/plan.h).
   /// Governs the run end to end; tridiag.plan is ignored under eigh.
   PlanMode plan = PlanMode::kHeuristic;
   TridiagOptions tridiag;  // which tridiagonalization pipeline to run
   TridiagSolver solver = TridiagSolver::kDivideConquer;
-  /// Consolidated solver / back-transform knobs (0 = auto, filled from the
-  /// resolved plan). The preferred spelling; merged once at driver entry by
-  /// plan::resolve_and_validate().
+  /// Consolidated solver / back-transform / refinement knobs (0 = auto,
+  /// filled from the resolved plan). The only spelling — the deprecated
+  /// loose aliases (smlsiz / bt_kw / q2_group) were removed after their
+  /// one-release window (README migration note). knobs.refine configures
+  /// the kMixedPrecision FP64 refinement stage.
   plan::Knobs knobs;
-  /// DEPRECATED aliases for knobs.{smlsiz, bt_kw, q2_group} (kept one
-  /// release; see README migration note). Assignments still compile and
-  /// forward into the merged knob vector; an explicitly-set `knobs` field
-  /// wins when both are set.
-  index_t smlsiz = 0;    // D&C base-case size (0 = auto)
-  index_t bt_kw = 0;     // stage-1 back-transform group width (0 = auto)
-  index_t q2_group = 0;  // stage-2 reflector-chunk size (0 = auto)
   /// Screen the input for NaN/Inf up front and fail fast with a typed
   /// Error(kInvalidInput) instead of letting a bad entry surface as a
   /// non-convergence (or silent garbage) deep in the pipeline. One O(n^2/2)
@@ -83,19 +87,34 @@ struct EvdResult {
   std::vector<double> eigenvalues;  // ascending
   Matrix eigenvectors;              // n x n, column j for eigenvalue j
                                     // (empty when vectors == false)
+  /// The execution mode that actually produced this result (after
+  /// plan::normalized() and any fp32->fp64 recovery) — kStandard for a
+  /// mixed-precision request that fell back to full FP64.
+  plan::EvdMode mode = plan::EvdMode::kStandard;
   /// Where the knob vector came from: "defaults", "heuristic", "measured",
-  /// or "cache" (plan::to_string of the resolved plan's source).
+  /// or "cache" (plan::to_string of the resolved plan's source), plus
+  /// schedule/mode suffixes ("+la1", "+fp32", "+vo").
   std::string plan_source;
-  /// Solver degradation taken to produce this result: "" (none),
-  /// "dc->steqr", "dc->steqr->bisect", or "steqr->bisect". A non-empty
-  /// value means the primary tridiagonal solver raised kNoConvergence and
-  /// the result came from a fallback — still a correct decomposition, at
-  /// (possibly) higher cost.
+  /// Degradation taken to produce this result: "" (none), a solver chain
+  /// ("dc->steqr", "dc->steqr->bisect", "steqr->bisect"), "fp32->fp64"
+  /// (mixed-precision residual test failed; full-FP64 rerun), or
+  /// "fp32->fp64," + a solver chain when both happened. A non-empty value
+  /// still denotes a correct decomposition, at (possibly) higher cost.
   std::string recovery;
-  double seconds_tridiag = 0.0;
+  /// FP64 refinement sweeps run and the final residual (kMixedPrecision
+  /// results that did not fall back; zero otherwise).
+  index_t refine_iters = 0;
+  double refine_residual = 0.0;
+  /// Process-wide dense-workspace high-water mark (la::workspace_peak_bytes)
+  /// observed at completion. Meaningful when the caller resets the peak
+  /// around a single solve; under concurrency it is the shared high water.
+  std::size_t peak_workspace_bytes = 0;
+  double seconds_tridiag = 0.0;  // kMixedPrecision: the whole FP32 stage
   double seconds_solver = 0.0;
   double seconds_backtransform = 0.0;
-  /// Per-phase measured/model breakdown; empty unless EvdOptions::profile.
+  double seconds_refine = 0.0;  // kMixedPrecision only
+  /// Per-phase measured/model breakdown; empty unless EvdOptions::profile
+  /// (standard-mode FP64 runs only — the FP32 engine is untraced).
   EvdProfile profile;
 };
 
@@ -104,6 +123,15 @@ struct EvdResult {
 /// Drivers call this once at entry; exposed so callers can inspect what a
 /// given options object will actually request.
 plan::Knobs merged_knobs(const EvdOptions& opts);
+
+/// Resolve an options object exactly as eigh() would — normalize the
+/// mode/vectors axis (plan::normalized), merge the knob layers, and
+/// validate them (negative knobs throw Error(kInvalidInput)) — without
+/// running anything. The returned object has mode/vectors canonicalized
+/// and knobs replaced by the merged vector; feeding it back to eigh() is
+/// idempotent. Use it to vet a request (e.g. at a service boundary) before
+/// committing compute.
+EvdOptions validate(const EvdOptions& opts);
 
 /// Full symmetric EVD of `a` (lower triangle read): A = V diag(w) V^T.
 EvdResult eigh(ConstMatrixView a, const EvdOptions& opts = {});

@@ -1,0 +1,91 @@
+#include "eig/mixed.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "bc/chase32.h"
+#include "common/cancel.h"
+#include "common/timer.h"
+#include "eig/eig.h"
+#include "la/blas32.h"
+#include "obs/obs.h"
+#include "sbr/band32.h"
+
+namespace tdg::eig {
+
+MixedOutcome eigh_mixed(ConstMatrixView a, const plan::ResolvedPipeline& cfg,
+                        bool use_dc) {
+  const index_t n = a.rows;
+  TDG_CHECK(a.rows == a.cols && n >= 3, "eigh_mixed: need a square n >= 3");
+  MixedOutcome out;
+  obs::Span span("eigh_mixed");
+  span.attr("n", n);
+
+  // --- FP32 stage 1+2: demote the lower triangle and reduce to tridiagonal.
+  WallTimer t;
+  MatrixF af(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      af(i, j) = static_cast<float>(a(i, j));
+    }
+  }
+  const index_t b = std::max<index_t>(1, std::min(cfg.tridiag.b, n - 1));
+  const index_t k = std::max(b, (cfg.tridiag.k / b) * b);
+  sbr::BandFactor32 f1 = sbr::dbbr_f(af.view(), b, k, /*want_factors=*/true);
+  cancel::poll("solver");
+  bc::ChaseLog32 log;
+  bc::chase_dense_f(af.view(), b, &log);
+  out.seconds_fp32 = t.seconds();
+
+  // --- FP64 middle: promote (d, e) and solve the tridiagonal problem at
+  // full precision (cheap relative to the reduction; keeps the solver's
+  // deflation and convergence logic in its tested precision).
+  std::vector<double> d(static_cast<std::size_t>(n));
+  std::vector<double> e(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)));
+  for (index_t i = 0; i < n; ++i) {
+    d[static_cast<std::size_t>(i)] = static_cast<double>(af(i, i));
+    if (i + 1 < n) {
+      e[static_cast<std::size_t>(i)] = static_cast<double>(af(i + 1, i));
+    }
+  }
+
+  t.reset();
+  out.eigenvalues = d;
+  Matrix z(n, n);
+  try {
+    if (use_dc) {
+      stedc(out.eigenvalues, e, z.view(), cfg.smlsiz);
+    } else {
+      z = Matrix::identity(n);
+      MatrixView zv = z.view();
+      steqr(out.eigenvalues, e, &zv);
+    }
+  } catch (const Error& err) {
+    if (err.code() != ErrorCode::kNoConvergence) throw;
+    out.seconds_solver = t.seconds();
+    return out;  // ok = false: the driver reruns in FP64
+  }
+  out.seconds_solver = t.seconds();
+  cancel::poll("backtransform");
+
+  // --- FP32 back transformation: V = Q1 (Q2 Z).
+  t.reset();
+  MatrixF zf = to_fp32(z.view());
+  bc::apply_q2_left_f(log, zf.view());
+  sbr::apply_q1_f(f1, zf.view());
+  out.eigenvectors = to_fp64(zf.view());
+  out.seconds_fp32 += t.seconds();
+
+  // --- FP64 refinement with residual acceptance.
+  t.reset();
+  out.refine = refine_eigenpairs(a, out.eigenvalues,
+                                 out.eigenvectors.view(), cfg.refine);
+  out.seconds_refine = t.seconds();
+  out.ok = out.refine.converged;
+  span.attr("refine_iters", out.refine.iters);
+  span.attr("ok", out.ok ? 1 : 0);
+  return out;
+}
+
+}  // namespace tdg::eig

@@ -1,0 +1,316 @@
+// Cache-blocked, pool-parallel FP32 BLAS-3 kernels — the float port of
+// blas3.cc. Block sizes are doubled where they are byte-budgeted (a float
+// is half a double), keeping the packed tiles on the same cache levels.
+// Determinism matches the FP64 engine: block grids depend only on shapes,
+// every tile is computed by one thread, and the K dimension is walked
+// ascending per element — bitwise identical for any thread count.
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "la/blas32.h"
+
+namespace tdg {
+
+void copy(ConstMatrixViewF src, MatrixViewF dst) {
+  TDG_CHECK(src.rows == dst.rows && src.cols == dst.cols,
+            "copy: shape mismatch");
+  for (index_t j = 0; j < src.cols; ++j) {
+    std::memcpy(dst.col(j), src.col(j),
+                static_cast<std::size_t>(src.rows) * sizeof(float));
+  }
+}
+
+MatrixF to_fp32(ConstMatrixView a) {
+  MatrixF f(a.rows, a.cols);
+  demote(a, f.view());
+  return f;
+}
+
+Matrix to_fp64(ConstMatrixViewF a) {
+  Matrix d(a.rows, a.cols);
+  promote(a, d.view());
+  return d;
+}
+
+void demote(ConstMatrixView src, MatrixViewF dst) {
+  TDG_CHECK(src.rows == dst.rows && src.cols == dst.cols,
+            "demote: shape mismatch");
+  for (index_t j = 0; j < src.cols; ++j) {
+    const double* s = src.col(j);
+    float* d = dst.col(j);
+    for (index_t i = 0; i < src.rows; ++i) d[i] = static_cast<float>(s[i]);
+  }
+}
+
+void promote(ConstMatrixViewF src, MatrixView dst) {
+  TDG_CHECK(src.rows == dst.rows && src.cols == dst.cols,
+            "promote: shape mismatch");
+  for (index_t j = 0; j < src.cols; ++j) {
+    const float* s = src.col(j);
+    double* d = dst.col(j);
+    for (index_t i = 0; i < src.rows; ++i) d[i] = static_cast<double>(s[i]);
+  }
+}
+
+namespace la {
+
+namespace {
+
+// Cache-block sizes: same byte budgets as the FP64 engine (blas3.cc), so
+// kKC doubles (a kMC x kKC float tile is still 256 KiB).
+constexpr index_t kMC = 128;
+constexpr index_t kKC = 512;
+constexpr index_t kNC = 512;
+constexpr index_t kSmallGemmVolume = 64 * 64 * 64;
+constexpr index_t kJB = 32;
+
+void gemm_nn_kernel_f(float alpha, ConstMatrixViewF a, ConstMatrixViewF b,
+                      float beta, MatrixViewF c) {
+  const index_t m = c.rows;
+  const index_t n = c.cols;
+  const index_t k = a.cols;
+  constexpr index_t kColBlock = 8;
+
+  for (index_t jj = 0; jj < n; jj += kColBlock) {
+    const index_t jb = std::min(kColBlock, n - jj);
+    if (beta != 1.0f) {
+      for (index_t j = jj; j < jj + jb; ++j) {
+        float* cj = c.col(j);
+        if (beta == 0.0f) {
+          std::fill(cj, cj + m, 0.0f);
+        } else {
+          for (index_t i = 0; i < m; ++i) cj[i] *= beta;
+        }
+      }
+    }
+    for (index_t l = 0; l < k; ++l) {
+      const float* al = a.col(l);
+      float coef[kColBlock];
+      float* ccol[kColBlock];
+      for (index_t t = 0; t < jb; ++t) {
+        coef[t] = alpha * b(l, jj + t);
+        ccol[t] = c.col(jj + t);
+      }
+      if (jb == kColBlock) {
+        for (index_t i = 0; i < m; ++i) {
+          const float ai = al[i];
+          ccol[0][i] += coef[0] * ai;
+          ccol[1][i] += coef[1] * ai;
+          ccol[2][i] += coef[2] * ai;
+          ccol[3][i] += coef[3] * ai;
+          ccol[4][i] += coef[4] * ai;
+          ccol[5][i] += coef[5] * ai;
+          ccol[6][i] += coef[6] * ai;
+          ccol[7][i] += coef[7] * ai;
+        }
+      } else {
+        for (index_t t = 0; t < jb; ++t) {
+          const float ct = coef[t];
+          float* cc = ccol[t];
+          for (index_t i = 0; i < m; ++i) cc[i] += ct * al[i];
+        }
+      }
+    }
+  }
+}
+
+void pack_a_panel_f(Trans ta, ConstMatrixViewF a, index_t pc, index_t kc,
+                    index_t m, float* dst) {
+  parallel_chunks(m, kMC, [&](index_t lo, index_t hi) {
+    if (ta == Trans::kNo) {
+      for (index_t l = 0; l < kc; ++l) {
+        std::memcpy(dst + lo + l * m, a.col(pc + l) + lo,
+                    static_cast<std::size_t>(hi - lo) * sizeof(float));
+      }
+    } else {
+      for (index_t i = lo; i < hi; ++i) {
+        const float* ai = a.col(i) + pc;
+        for (index_t l = 0; l < kc; ++l) dst[i + l * m] = ai[l];
+      }
+    }
+  });
+}
+
+void pack_b_panel_f(Trans tb, ConstMatrixViewF b, index_t pc, index_t kc,
+                    index_t n, float* dst) {
+  parallel_chunks(n, kNC, [&](index_t lo, index_t hi) {
+    if (tb == Trans::kNo) {
+      for (index_t j = lo; j < hi; ++j) {
+        std::memcpy(dst + j * kc, b.col(j) + pc,
+                    static_cast<std::size_t>(kc) * sizeof(float));
+      }
+    } else {
+      for (index_t l = 0; l < kc; ++l) {
+        const float* bl = b.col(pc + l);
+        for (index_t j = lo; j < hi; ++j) dst[l + j * kc] = bl[j];
+      }
+    }
+  });
+}
+
+void scale_columns_f(float beta, MatrixViewF c) {
+  if (beta == 1.0f) return;
+  for (index_t j = 0; j < c.cols; ++j) {
+    float* cj = c.col(j);
+    for (index_t i = 0; i < c.rows; ++i) cj[i] *= beta;
+  }
+}
+
+void gemm_packed_f(Trans ta, Trans tb, float alpha, ConstMatrixViewF a,
+                   ConstMatrixViewF b, float beta, MatrixViewF c) {
+  const index_t m = c.rows;
+  const index_t n = c.cols;
+  const index_t k = (ta == Trans::kNo) ? a.cols : a.rows;
+
+  const index_t kc_max = std::min(k, kKC);
+  std::vector<float> apack(static_cast<std::size_t>(m) * kc_max);
+  std::vector<float> bpack(static_cast<std::size_t>(kc_max) * n);
+  const index_t nmb = (m + kMC - 1) / kMC;
+  const index_t nnb = (n + kNC - 1) / kNC;
+
+  for (index_t pc = 0; pc < k; pc += kKC) {
+    const index_t kc = std::min(kKC, k - pc);
+    pack_a_panel_f(ta, a, pc, kc, m, apack.data());
+    pack_b_panel_f(tb, b, pc, kc, n, bpack.data());
+    const ConstMatrixViewF ap{apack.data(), m, kc, m};
+    const ConstMatrixViewF bp{bpack.data(), kc, n, kc};
+    const float beta_eff = (pc == 0) ? beta : 1.0f;
+
+    ThreadPool::global().parallel_for(0, nmb * nnb, [&](index_t t) {
+      const index_t bi = t % nmb;
+      const index_t bj = t / nmb;
+      const index_t i0 = bi * kMC;
+      const index_t j0 = bj * kNC;
+      const index_t mb = std::min(kMC, m - i0);
+      const index_t nb = std::min(kNC, n - j0);
+      gemm_nn_kernel_f(alpha, ap.block(i0, 0, mb, kc),
+                       bp.block(0, j0, kc, nb), beta_eff,
+                       c.block(i0, j0, mb, nb));
+    });
+  }
+}
+
+}  // namespace
+
+float dot_f(index_t n, const float* x, const float* y) {
+  float s = 0.0f;
+  for (index_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void scal_f(index_t n, float alpha, float* x) {
+  for (index_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+float nrm2_f(index_t n, const float* x) {
+  float scale = 0.0f;
+  float ssq = 1.0f;
+  for (index_t i = 0; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    if (a == 0.0f) continue;
+    if (scale < a) {
+      const float r = scale / a;
+      ssq = 1.0f + ssq * r * r;
+      scale = a;
+    } else {
+      const float r = a / scale;
+      ssq += r * r;
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+void gemm_f(Trans ta, Trans tb, float alpha, ConstMatrixViewF a,
+            ConstMatrixViewF b, float beta, MatrixViewF c) {
+  const index_t opa_rows = (ta == Trans::kNo) ? a.rows : a.cols;
+  const index_t opa_cols = (ta == Trans::kNo) ? a.cols : a.rows;
+  const index_t opb_rows = (tb == Trans::kNo) ? b.rows : b.cols;
+  const index_t opb_cols = (tb == Trans::kNo) ? b.cols : b.rows;
+  TDG_CHECK(opa_rows == c.rows && opb_cols == c.cols && opa_cols == opb_rows,
+            "gemm_f: shape mismatch");
+  const index_t m = c.rows;
+  const index_t n = c.cols;
+  const index_t k = opa_cols;
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) {
+    scale_columns_f(beta, c);
+    return;
+  }
+  if (ta == Trans::kNo && tb == Trans::kNo && m * n * k <= kSmallGemmVolume) {
+    gemm_nn_kernel_f(alpha, a, b, beta, c);
+    return;
+  }
+  gemm_packed_f(ta, tb, alpha, a, b, beta, c);
+}
+
+void syr2k_lower_f(float alpha, ConstMatrixViewF a, ConstMatrixViewF b,
+                   float beta, MatrixViewF c) {
+  TDG_CHECK(c.rows == c.cols, "syr2k_lower_f: C must be square");
+  TDG_CHECK(a.rows == c.rows && b.rows == c.rows && a.cols == b.cols,
+            "syr2k_lower_f: shape mismatch");
+  const index_t n = c.rows;
+  const index_t k = a.cols;
+  parallel_chunks(n, kJB, [&](index_t lo, index_t hi) {
+    if (beta != 1.0f) {
+      for (index_t j = lo; j < hi; ++j) {
+        float* cj = c.col(j);
+        for (index_t i = j; i < n; ++i) cj[i] *= beta;
+      }
+    }
+    for (index_t l = 0; l < k; ++l) {
+      const float* al = a.col(l);
+      const float* bl = b.col(l);
+      for (index_t j = lo; j < hi; ++j) {
+        const float abj = alpha * b(j, l);
+        const float aaj = alpha * a(j, l);
+        float* cj = c.col(j);
+        for (index_t i = j; i < n; ++i) {
+          cj[i] += abj * al[i] + aaj * bl[i];
+        }
+      }
+    }
+  });
+}
+
+void symm_lower_f(float alpha, ConstMatrixViewF a, ConstMatrixViewF b,
+                  float beta, MatrixViewF c) {
+  TDG_CHECK(a.rows == a.cols, "symm_lower_f: A must be square");
+  TDG_CHECK(a.rows == b.rows && b.rows == c.rows && b.cols == c.cols,
+            "symm_lower_f: shape mismatch");
+  const index_t n = a.rows;
+  const index_t w = c.cols;
+  parallel_chunks(w, kJB, [&](index_t lo, index_t hi) {
+    if (beta != 1.0f) {
+      for (index_t j = lo; j < hi; ++j) {
+        float* cj = c.col(j);
+        if (beta == 0.0f) {
+          std::fill(cj, cj + n, 0.0f);
+        } else {
+          for (index_t i = 0; i < n; ++i) cj[i] *= beta;
+        }
+      }
+    }
+    for (index_t l = 0; l < n; ++l) {
+      const float* al = a.col(l);
+      for (index_t j = lo; j < hi; ++j) {
+        float* cj = c.col(j);
+        const float* bj = b.col(j);
+        const float abl = alpha * bj[l];
+        cj[l] += abl * al[l];
+        float s = 0.0f;
+        for (index_t i = l + 1; i < n; ++i) {
+          cj[i] += abl * al[i];
+          s += al[i] * bj[i];
+        }
+        cj[l] += alpha * s;
+      }
+    }
+  });
+}
+
+}  // namespace la
+}  // namespace tdg

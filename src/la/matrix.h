@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "la/workspace.h"
 
 namespace tdg {
 
@@ -110,7 +111,9 @@ class Matrix {
  private:
   index_t m_ = 0;
   index_t n_ = 0;
-  std::vector<double> d_;
+  // Tracked so la::workspace_peak_bytes() sees every dense allocation
+  // (see la/workspace.h); numerically the storage is a plain vector.
+  std::vector<double, la::TrackingAlloc<double>> d_;
 };
 
 /// Copy src into dst (dimensions must match).

@@ -1,0 +1,42 @@
+#include "la/workspace.h"
+
+#include <atomic>
+
+namespace tdg::la {
+
+namespace {
+std::atomic<std::size_t> g_current{0};
+std::atomic<std::size_t> g_peak{0};
+}  // namespace
+
+namespace detail {
+
+void track_alloc(std::size_t bytes) {
+  const std::size_t now =
+      g_current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::size_t peak = g_peak.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !g_peak.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void track_dealloc(std::size_t bytes) {
+  g_current.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+std::size_t workspace_current_bytes() {
+  return g_current.load(std::memory_order_relaxed);
+}
+
+std::size_t workspace_peak_bytes() {
+  return g_peak.load(std::memory_order_relaxed);
+}
+
+void workspace_reset_peak() {
+  g_peak.store(g_current.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+}  // namespace tdg::la

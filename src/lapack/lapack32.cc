@@ -1,0 +1,120 @@
+#include "lapack/lapack32.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace tdg::lapack {
+
+float larfg_f(index_t n, float& alpha, float* x) {
+  if (n <= 1) return 0.0f;
+  const float xnorm = la::nrm2_f(n - 1, x);
+  if (xnorm == 0.0f) return 0.0f;
+
+  const float beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+  const float tau = (beta - alpha) / beta;
+  la::scal_f(n - 1, 1.0f / (alpha - beta), x);
+  alpha = beta;
+  return tau;
+}
+
+void larf_left_f(const float* v, float tau, MatrixViewF c, float* work) {
+  if (tau == 0.0f || c.rows == 0 || c.cols == 0) return;
+  // work = C^T v ; C -= tau * v work^T
+  for (index_t j = 0; j < c.cols; ++j) {
+    work[j] = la::dot_f(c.rows, c.col(j), v);
+  }
+  for (index_t j = 0; j < c.cols; ++j) {
+    const float tw = tau * work[j];
+    float* cj = c.col(j);
+    for (index_t i = 0; i < c.rows; ++i) cj[i] -= tw * v[i];
+  }
+}
+
+void geqr2_f(MatrixViewF a, std::vector<float>& taus) {
+  const index_t m = a.rows;
+  const index_t n = a.cols;
+  const index_t k = std::min(m, n);
+  taus.assign(static_cast<std::size_t>(n), 0.0f);
+  std::vector<float> v(static_cast<std::size_t>(m));
+  std::vector<float> work(static_cast<std::size_t>(n));
+
+  for (index_t j = 0; j < k; ++j) {
+    float alpha = a(j, j);
+    const float tau = larfg_f(m - j, alpha, &a(j, j) + 1);
+    taus[static_cast<std::size_t>(j)] = tau;
+    if (tau != 0.0f && j + 1 < n) {
+      v[0] = 1.0f;
+      for (index_t i = 1; i < m - j; ++i)
+        v[static_cast<std::size_t>(i)] = a(j + i, j);
+      larf_left_f(v.data(), tau, a.block(j, j + 1, m - j, n - j - 1),
+                  work.data());
+    }
+    a(j, j) = alpha;
+  }
+}
+
+void larft_f(ConstMatrixViewF v, const std::vector<float>& taus,
+             MatrixViewF t) {
+  const index_t k = v.cols;
+  TDG_CHECK(t.rows == k && t.cols == k, "larft_f: T must be k x k");
+  for (index_t j = 0; j < k; ++j) {
+    float* tj = t.col(j);
+    std::fill(tj, tj + k, 0.0f);
+  }
+  std::vector<float> w(static_cast<std::size_t>(k));
+  for (index_t i = 0; i < k; ++i) {
+    const float tau = taus[static_cast<std::size_t>(i)];
+    if (tau == 0.0f) {
+      t(i, i) = 0.0f;
+      continue;
+    }
+    for (index_t c = 0; c < i; ++c) {
+      w[static_cast<std::size_t>(c)] =
+          -tau * la::dot_f(v.rows, v.col(c), v.col(i));
+    }
+    for (index_t r = 0; r < i; ++r) {
+      float s = 0.0f;
+      for (index_t c = r; c < i; ++c) {
+        s += t(r, c) * w[static_cast<std::size_t>(c)];
+      }
+      t(r, i) = s;
+    }
+    t(i, i) = tau;
+  }
+}
+
+WyFactor32 panel_qr_f(MatrixViewF a) {
+  const index_t m = a.rows;
+  const index_t k = a.cols;
+  TDG_CHECK(m >= k, "panel_qr_f: panel must be tall (m >= n)");
+  std::vector<float> taus;
+  geqr2_f(a, taus);
+
+  WyFactor32 f;
+  f.v = MatrixF(m, k);
+  for (index_t j = 0; j < k; ++j) {
+    f.v(j, j) = 1.0f;
+    for (index_t i = j + 1; i < m; ++i) f.v(i, j) = a(i, j);
+  }
+  f.t = MatrixF(k, k);
+  larft_f(f.v.view(), taus, f.t.view());
+  return f;
+}
+
+void apply_block_reflector_left_f(ConstMatrixViewF v, ConstMatrixViewF t,
+                                  Trans op, MatrixViewF c) {
+  TDG_CHECK(v.rows == c.rows, "apply_block_reflector_left_f: row mismatch");
+  const index_t k = v.cols;
+  if (k == 0 || c.cols == 0) return;
+  // (I - V T V^T)^T C = C - V T^T (V^T C)
+  // (I - V T V^T)   C = C - V T   (V^T C)
+  MatrixF w(k, c.cols);
+  la::gemm_f(Trans::kTrans, Trans::kNo, 1.0f, v, c, 0.0f, w.view());
+  MatrixF tw(k, c.cols);
+  la::gemm_f(op == Trans::kNo ? Trans::kNo : Trans::kTrans, Trans::kNo, 1.0f,
+             t, w.view(), 0.0f, tw.view());
+  la::gemm_f(Trans::kNo, Trans::kNo, -1.0f, v, tw.view(), 1.0f, c);
+}
+
+}  // namespace tdg::lapack

@@ -1,0 +1,38 @@
+// FP32 ports of the LAPACK-style building blocks the mixed-precision band
+// reduction needs: Householder generation, compact-WY panel QR, and block
+// -reflector application. Line-by-line float ports of lapack.h — same
+// reflector convention (H = I - tau v v^T, v(0) = 1).
+#pragma once
+
+#include <vector>
+
+#include "la/blas32.h"
+#include "la/matrix32.h"
+
+namespace tdg::lapack {
+
+/// Float larfg: reflector for [alpha; x]; returns tau (0 when collinear).
+float larfg_f(index_t n, float& alpha, float* x);
+
+/// Apply H = I - tau v v^T from the left to C. work: C.cols entries.
+void larf_left_f(const float* v, float tau, MatrixViewF c, float* work);
+
+/// Unblocked QR of A (m x n, m >= n): R in the upper triangle, Householder
+/// vectors below, taus filled (size n).
+void geqr2_f(MatrixViewF a, std::vector<float>& taus);
+
+/// T factor of the forward block reflector I - V T V^T.
+void larft_f(ConstMatrixViewF v, const std::vector<float>& taus, MatrixViewF t);
+
+/// Compact-WY panel factorisation in float.
+struct WyFactor32 {
+  MatrixF v;  // m x k explicit unit-lower-trapezoidal reflectors
+  MatrixF t;  // k x k upper-triangular block factor
+};
+WyFactor32 panel_qr_f(MatrixViewF a);
+
+/// C <- (I - V T V^T)^op * C.
+void apply_block_reflector_left_f(ConstMatrixViewF v, ConstMatrixViewF t,
+                                  Trans op, MatrixViewF c);
+
+}  // namespace tdg::lapack

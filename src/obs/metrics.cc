@@ -286,6 +286,9 @@ Registry& Registry::global() {
     r->counter("evd.recovery.dc_steqr", Gating::kAlways);
     r->counter("evd.recovery.dc_steqr_bisect", Gating::kAlways);
     r->counter("evd.recovery.steqr_bisect", Gating::kAlways);
+    r->counter("evd.refine_iters", Gating::kAlways);
+    r->counter("evd.fp32_fallbacks", Gating::kAlways);
+    r->gauge("evd.peak_workspace_bytes", Gating::kAlways);
     r->counter("plan.cache_hits", Gating::kAlways);
     r->counter("plan.cache_misses", Gating::kAlways);
     r->counter("plan.measure_runs", Gating::kAlways);
@@ -307,6 +310,7 @@ Registry& Registry::global() {
     r->counter("serve.rejected", Gating::kAlways);
     r->counter("serve.completed", Gating::kAlways);
     r->counter("serve.degraded", Gating::kAlways);
+    r->counter("serve.precision_degraded", Gating::kAlways);
     r->counter("serve.failed", Gating::kAlways);
     r->counter("serve.retries", Gating::kAlways);
     r->counter("serve.breaker_trips", Gating::kAlways);

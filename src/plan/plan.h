@@ -35,12 +35,17 @@
 namespace tdg::plan {
 
 /// The shape the planner keys on: problem size, whether eigenvectors (and
-/// hence the back transformations) are needed, and how many columns are
-/// back-transformed (0 = all n, as in a full EVD).
+/// hence the back transformations) are needed, how many columns are
+/// back-transformed (0 = all n, as in a full EVD), and the execution-mode
+/// axis (EvdMode / Precision). Defaults describe the pre-existing FP64
+/// standard path, so cache keys and provenance strings for default requests
+/// are unchanged (old plan-cache files stay valid).
 struct ProblemShape {
   index_t n = 0;
   bool vectors = true;
   index_t subset = 0;
+  EvdMode mode = EvdMode::kStandard;
+  Precision precision = Precision::kFp64;
 };
 
 /// Provenance of a knob vector.
@@ -69,16 +74,34 @@ struct Plan {
   /// block's first panel QR with the trailing syr2k's tiles; see
   /// plan::Knobs::lookahead for the override convention). Bitwise-neutral.
   index_t lookahead = 0;
+  /// The execution mode / precision this plan was resolved for (stamped
+  /// from the ProblemShape; provenance only — the knob vector itself is
+  /// mode-independent). Recorded in source_string() for non-default modes.
+  EvdMode mode = EvdMode::kStandard;
+  Precision precision = Precision::kFp64;
   PlanSource source = PlanSource::kHeuristic;
   /// Proxy wall-clock of the winning config (kMeasured / kCache only).
   double measured_seconds = 0.0;
 };
 
 /// Full provenance string for a resolved plan: the tier name plus any
-/// schedule-changing knobs ("heuristic+la1" when look-ahead is on). This is
-/// what EvdResult.plan_source records, so profiles name the schedule that
-/// actually ran; plain tier names compare equal for barrier plans.
+/// schedule-changing knobs ("heuristic+la1" when look-ahead is on) and any
+/// non-default execution mode ("+fp32" for mixed precision, "+vo" for
+/// values-only). This is what EvdResult.plan_source records, so profiles
+/// name the schedule that actually ran; plain tier names compare equal for
+/// barrier FP64 standard plans.
 std::string source_string(const Plan& plan);
+
+/// Canonicalize the execution-mode axis of a shape — the one resolution
+/// rule every layer (drivers, batch, serve, cache key) shares:
+///   * mode == kValuesOnly        -> vectors = false
+///   * vectors == false           -> mode = kValuesOnly (a values-only
+///     request spelled through the legacy vectors flag)
+///   * kMixedPrecision + vectors  -> precision = kFp32
+///   * kMixedPrecision, !vectors  -> kValuesOnly at kFp64 (the FP64
+///     refinement needs eigenvectors; a values-only request gains nothing
+///     from the FP32 stage it cannot verify)
+ProblemShape normalized(ProblemShape shape);
 
 struct PlannerOptions {
   /// Thread budget assumed by the heuristics (0 = ambient current_threads()).
@@ -134,6 +157,9 @@ struct ResolvedPipeline {
   TridiagOptions tridiag;  // resolved + validated, plan = kManual
   ApplyQOptions applyq;    // resolved + validated, plan = kManual
   index_t smlsiz = 32;     // resolved D&C base-case size
+  /// Merged FP64-refinement knobs (zeros = the documented autos), consumed
+  /// by the mixed-precision engine only.
+  RefineOptions refine;
 };
 
 /// The one resolve-and-validate entry point shared by eigh / eigh_range /

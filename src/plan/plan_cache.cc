@@ -233,14 +233,20 @@ index_t pow2_bucket(index_t n) {
 }
 
 std::string cache_key(const ProblemShape& shape) {
+  const ProblemShape s = normalized(shape);
   char buf[96];
   std::snprintf(buf, sizeof(buf), "|n=%lld|vec=%d|sub=%lld",
                 static_cast<long long>(pow2_bucket(std::max<index_t>(
-                    shape.n, 1))),
-                shape.vectors ? 1 : 0,
+                    s.n, 1))),
+                s.vectors ? 1 : 0,
                 static_cast<long long>(
-                    shape.subset > 0 ? pow2_bucket(shape.subset) : 0));
-  return machine_fingerprint() + buf;
+                    s.subset > 0 ? pow2_bucket(s.subset) : 0));
+  std::string key = machine_fingerprint() + buf;
+  // Only non-default axes extend the key, so keys minted before the mode
+  // axis existed (and the entries old cache files hold) stay valid for
+  // default FP64 requests. Values-only is already encoded in vec=0.
+  if (s.precision == Precision::kFp32) key += "|prec=fp32";
+  return key;
 }
 
 bool PlanCache::lookup(const std::string& key, Plan* out) const {

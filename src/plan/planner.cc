@@ -188,7 +188,34 @@ std::string source_string(const Plan& plan) {
   // Only schedule-changing knob values are recorded: barrier plans keep the
   // plain tier name, so pre-look-ahead provenance strings stay comparable.
   if (plan.lookahead >= 1) s += "+la" + std::to_string(plan.lookahead);
+  // Non-default execution modes are recorded the same way — default FP64
+  // standard runs keep the plain string, so pre-mode provenance (and any
+  // consumer comparing it) is unchanged.
+  if (plan.precision == Precision::kFp32) {
+    s += "+fp32";
+  } else if (plan.mode == EvdMode::kValuesOnly) {
+    s += "+vo";
+  }
   return s;
+}
+
+ProblemShape normalized(ProblemShape shape) {
+  if (shape.mode == EvdMode::kValuesOnly) shape.vectors = false;
+  if (!shape.vectors && shape.mode == EvdMode::kStandard) {
+    shape.mode = EvdMode::kValuesOnly;
+  }
+  if (shape.mode == EvdMode::kMixedPrecision) {
+    if (shape.vectors) {
+      shape.precision = Precision::kFp32;
+    } else {
+      shape.mode = EvdMode::kValuesOnly;
+      shape.precision = Precision::kFp64;
+    }
+  }
+  if (shape.mode != EvdMode::kMixedPrecision) {
+    shape.precision = Precision::kFp64;
+  }
+  return shape;
 }
 
 Plan default_plan(const ProblemShape& shape) {
@@ -342,12 +369,19 @@ Plan measured_plan(const ProblemShape& shape, const PlannerOptions& popts) {
 
 Plan plan_for(const ProblemShape& shape, PlanMode mode,
               const PlannerOptions& popts) {
+  const ProblemShape s = normalized(shape);
+  Plan p;
   switch (mode) {
-    case PlanMode::kManual: return default_plan(shape);
-    case PlanMode::kMeasure: return measured_plan(shape, popts);
-    case PlanMode::kHeuristic: break;
+    case PlanMode::kManual: p = default_plan(s); break;
+    case PlanMode::kMeasure: p = measured_plan(s, popts); break;
+    case PlanMode::kHeuristic: p = heuristic_plan(s, popts.threads); break;
   }
-  return heuristic_plan(shape, popts.threads);
+  // Provenance: the knob vector is mode-independent (the FP32 stage and
+  // the values-only path consume the same b/k/S), but the plan remembers
+  // what it was resolved for so source_string() can record it.
+  p.mode = s.mode;
+  p.precision = s.precision;
+  return p;
 }
 
 TridiagOptions resolve(const TridiagOptions& opts, index_t n,
@@ -365,14 +399,8 @@ TridiagOptions resolve(const TridiagOptions& opts, index_t n,
 
 ApplyQOptions resolve(const ApplyQOptions& opts, index_t n, const Plan& plan) {
   ApplyQOptions o = opts;
-  // The deprecated loose fields forward into the knob sub-struct (knobs
-  // wins when both are set), then the plan fills what is still zero.
-  if (o.knobs.bt_kw == 0) o.knobs.bt_kw = o.bt_kw;
-  if (o.knobs.q2_group == 0) o.knobs.q2_group = o.q2_group;
   if (o.knobs.bt_kw == 0) o.knobs.bt_kw = plan.bt_kw;
   if (o.knobs.q2_group == 0) o.knobs.q2_group = plan.q2_group;
-  o.bt_kw = o.knobs.bt_kw;
-  o.q2_group = o.knobs.q2_group;
   return validated(o, n);
 }
 
@@ -406,20 +434,14 @@ TridiagOptions validated(const TridiagOptions& opts, index_t n) {
 
 ApplyQOptions validated(const ApplyQOptions& opts, index_t n) {
   TDG_CHECK(n >= 1, "plan: problem size must be positive");
-  TDG_CHECK(opts.bt_kw >= 0 && opts.q2_group >= 0,
-            "plan: negative back-transform group width");
   TDG_CHECK(opts.knobs.bt_kw >= 0 && opts.knobs.q2_group >= 0,
             "plan: negative back-transform group width");
   TDG_CHECK(opts.threads >= 0, "plan: negative thread count");
   ApplyQOptions o = opts;
-  if (o.bt_kw == 0) o.bt_kw = o.knobs.bt_kw;
-  if (o.q2_group == 0) o.q2_group = o.knobs.q2_group;
-  o.bt_kw = clamp_index(o.bt_kw == 0 ? 256 : o.bt_kw, 1, std::max<index_t>(1, n));
-  o.q2_group =
-      clamp_index(o.q2_group == 0 ? 64 : o.q2_group, 1, std::max<index_t>(1, n));
-  // Keep the two spellings coherent for downstream readers of either.
-  o.knobs.bt_kw = o.bt_kw;
-  o.knobs.q2_group = o.q2_group;
+  o.knobs.bt_kw = clamp_index(o.knobs.bt_kw == 0 ? 256 : o.knobs.bt_kw, 1,
+                              std::max<index_t>(1, n));
+  o.knobs.q2_group = clamp_index(o.knobs.q2_group == 0 ? 64 : o.knobs.q2_group,
+                                 1, std::max<index_t>(1, n));
   o.threads = std::min(o.threads, kMaxThreads);
   return o;
 }
@@ -428,9 +450,14 @@ ResolvedPipeline resolve_and_validate(const ProblemShape& shape,
                                       const Plan& plan,
                                       const TridiagOptions& tridiag,
                                       const Knobs& knobs) {
-  const index_t n = std::max<index_t>(shape.n, 1);
+  const ProblemShape s = normalized(shape);
+  const index_t n = std::max<index_t>(s.n, 1);
   ResolvedPipeline r;
   r.plan = plan;
+  // Shared bucket plans are mode-agnostic; the resolved pipeline's
+  // provenance reflects the request that is actually running.
+  r.plan.mode = s.mode;
+  r.plan.precision = s.precision;
 
   // Lowest precedence for knobs carried on the tridiag options; the
   // caller's (already merged) knob struct wins, the plan fills the rest.
@@ -442,7 +469,7 @@ ResolvedPipeline resolve_and_validate(const ProblemShape& shape,
   t.knobs = k;
   r.tridiag = resolve(t, n, plan);
   r.tridiag.plan = PlanMode::kManual;  // already resolved
-  r.tridiag.want_factors = shape.vectors;
+  r.tridiag.want_factors = s.vectors;
   // Provenance records the schedule that will actually run: a caller knob
   // (including -1 = force barrier) overrides what the plan proposed.
   r.plan.lookahead = std::max<index_t>(0, r.tridiag.knobs.lookahead);
@@ -455,6 +482,10 @@ ResolvedPipeline resolve_and_validate(const ProblemShape& shape,
   TDG_CHECK(k.smlsiz >= 0, "plan: negative smlsiz");
   r.smlsiz = clamp_index(k.smlsiz == 0 ? plan.smlsiz : k.smlsiz, 2,
                          std::max<index_t>(n, 2));
+
+  TDG_CHECK(k.refine.max_iters >= 0 && k.refine.tol >= 0.0,
+            "plan: negative refinement knob");
+  r.refine = k.refine;  // zeros = autos, resolved by the refinement stage
   return r;
 }
 

@@ -1,0 +1,152 @@
+#include "sbr/band32.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/cancel.h"
+#include "lapack/lapack32.h"
+#include "obs/obs.h"
+
+namespace tdg::sbr {
+
+namespace {
+
+/// Float ZY step: Z = P T - (1/2) V (T^T (V^T P T)) for P = A V.
+MatrixF zy_w_from_av_f(ConstMatrixViewF p, ConstMatrixViewF v,
+                       ConstMatrixViewF t) {
+  const index_t m = p.rows;
+  const index_t w = p.cols;
+  MatrixF x(m, w);
+  la::gemm_f(Trans::kNo, Trans::kNo, 1.0f, p, t, 0.0f, x.view());
+  MatrixF mm(w, w);
+  la::gemm_f(Trans::kTrans, Trans::kNo, 1.0f, v, x.view(), 0.0f, mm.view());
+  MatrixF s(w, w);
+  la::gemm_f(Trans::kTrans, Trans::kNo, 1.0f, t, mm.view(), 0.0f, s.view());
+  la::gemm_f(Trans::kNo, Trans::kNo, -0.5f, v, s.view(), 1.0f, x.view());
+  return x;
+}
+
+void zero_below_r_f(MatrixViewF a, index_t j0, index_t b, index_t w) {
+  const index_t n = a.rows;
+  for (index_t c = 0; c < w; ++c) {
+    for (index_t r = j0 + b + c + 1; r < n; ++r) a(r, j0 + c) = 0.0f;
+  }
+}
+
+/// Float port of dbbr.cc panel_step (barrier path, no prefactored QR).
+index_t panel_step_f(MatrixViewF a, index_t b, index_t j, index_t cols,
+                     MatrixF& y, MatrixF& z, BandFactor32& f, bool keep_all) {
+  const index_t n = a.rows;
+  const index_t m = n - j - b;
+  const index_t w = std::min(b, m);
+
+  if (cols > 0) {
+    MatrixViewF blk = a.block(j, j, n - j, w);
+    la::gemm_f(Trans::kNo, Trans::kTrans, -1.0f, y.block(j, 0, n - j, cols),
+               z.block(j, 0, w, cols), 1.0f, blk);
+    la::gemm_f(Trans::kNo, Trans::kTrans, -1.0f, z.block(j, 0, n - j, cols),
+               y.block(j, 0, w, cols), 1.0f, blk);
+  }
+
+  lapack::WyFactor32 wy = lapack::panel_qr_f(a.block(j + b, j, m, w));
+  zero_below_r_f(a, j, b, w);
+
+  // P = A_cur V = A_stale V - Y (Z^T V) - Z (Y^T V)  (rows j+b..n-1).
+  MatrixF p(m, w);
+  la::symm_lower_f(1.0f, a.block(j + b, j + b, m, m), wy.v.view(), 0.0f,
+                   p.view());
+  if (cols > 0) {
+    MatrixF zv(cols, w);
+    la::gemm_f(Trans::kTrans, Trans::kNo, 1.0f, z.block(j + b, 0, m, cols),
+               wy.v.view(), 0.0f, zv.view());
+    la::gemm_f(Trans::kNo, Trans::kNo, -1.0f, y.block(j + b, 0, m, cols),
+               zv.view(), 1.0f, p.view());
+    MatrixF yv(cols, w);
+    la::gemm_f(Trans::kTrans, Trans::kNo, 1.0f, y.block(j + b, 0, m, cols),
+               wy.v.view(), 0.0f, yv.view());
+    la::gemm_f(Trans::kNo, Trans::kNo, -1.0f, z.block(j + b, 0, m, cols),
+               yv.view(), 1.0f, p.view());
+  }
+  MatrixF wmat = zy_w_from_av_f(p.view(), wy.v.view(), wy.t.view());
+
+  copy(wy.v.view(), y.block(j + b, cols, m, w));
+  copy(wmat.view(), z.block(j + b, cols, m, w));
+
+  if (!keep_all) f.panels.clear();
+  f.panels.push_back({j + b, std::move(wy.v), std::move(wy.t)});
+  return cols + w;
+}
+
+}  // namespace
+
+BandFactor32 dbbr_f(MatrixViewF a, index_t b, index_t k, bool want_factors) {
+  const index_t n = a.rows;
+  TDG_CHECK(a.rows == a.cols, "dbbr_f: matrix must be square");
+  TDG_CHECK(b >= 1 && b < std::max<index_t>(n, 2), "dbbr_f: need 1 <= b < n");
+  TDG_CHECK(k >= b && k % b == 0, "dbbr_f: k must be a positive multiple of b");
+
+  obs::Span span("dbbr_f");
+  span.attr("n", n);
+  span.attr("b", b);
+  span.attr("k", k);
+
+  BandFactor32 f;
+  f.n = n;
+  f.b = b;
+
+  MatrixF y(n, k);
+  MatrixF z(n, k);
+
+  index_t i = 0;
+  while (n - i - b >= 1) {
+    cancel::poll("dbbr_block");
+    for (index_t c = 0; c < k; ++c) {
+      float* yc = y.view().col(c);
+      float* zc = z.view().col(c);
+      std::fill(yc, yc + n, 0.0f);
+      std::fill(zc, zc + n, 0.0f);
+    }
+    index_t cols = 0;
+    index_t t0 = i;
+
+    for (index_t j = i; j < i + k && n - j - b >= 1; j += b) {
+      cols = panel_step_f(a, b, j, cols, y, z, f, want_factors);
+      t0 = j + std::min(b, n - j - b);
+    }
+
+    if (cols > 0 && t0 < n) {
+      la::syr2k_lower_f(-1.0f, y.block(t0, 0, n - t0, cols),
+                        z.block(t0, 0, n - t0, cols), 1.0f,
+                        a.block(t0, t0, n - t0, n - t0));
+    }
+    if (!f.panels.empty()) {
+      // Final partial panel of the block (w < b): its remaining in-band
+      // columns still take Q^T from the left (same fixup as dbbr.cc).
+      const Panel32& last = f.panels.back();
+      const index_t lw = last.v.cols();
+      const index_t lj = last.row0 - b;
+      if (lw < b && lj >= i) {
+        lapack::apply_block_reflector_left_f(
+            last.v.view(), last.t.view(), Trans::kTrans,
+            a.block(last.row0, lj + lw, last.v.rows(), b - lw));
+      }
+    }
+    i += k;
+  }
+  if (!want_factors) f.panels.clear();
+  return f;
+}
+
+void apply_q1_f(const BandFactor32& f, MatrixViewF c) {
+  TDG_CHECK(c.rows == f.n, "apply_q1_f: row mismatch");
+  // Q1 C = Q_p0 (Q_p1 (... (Q_pm C))) — panels applied in reverse order.
+  for (auto p = f.panels.rbegin(); p != f.panels.rend(); ++p) {
+    cancel::poll("backtransform_panel");
+    lapack::apply_block_reflector_left_f(
+        p->v.view(), p->t.view(), Trans::kNo,
+        c.block(p->row0, 0, f.n - p->row0, c.cols));
+  }
+}
+
+}  // namespace tdg::sbr

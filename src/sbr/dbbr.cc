@@ -65,9 +65,12 @@ void trailing_syr2k(const BandReductionOptions& opts, ConstMatrixView v,
 /// (y, z), and the panel record. Returns the new accumulated column count.
 /// Shared verbatim by the barrier and DAG paths — bitwise identity between
 /// the two schedules rests on this being the single implementation.
+/// With keep_all == false only the newest panel is retained (the partial
+/// -panel fixups read f.panels.back() only), so a values-only reduction
+/// holds one O(n*b) panel at a time instead of the O(n^2/2) full set.
 index_t panel_step(MatrixView a, index_t b, index_t j, index_t cols,
                    Matrix& y, Matrix& z, BandFactor& f,
-                   lapack::WyFactor* pre) {
+                   lapack::WyFactor* pre, bool keep_all) {
   const index_t n = a.rows;
   const index_t m = n - j - b;       // rows of the below-band panel
   const index_t w = std::min(b, m);  // panel width
@@ -115,6 +118,7 @@ index_t panel_step(MatrixView a, index_t b, index_t j, index_t cols,
   copy(wy.v.view(), y.block(j + b, cols, m, w));
   copy(wmat.view(), z.block(j + b, cols, m, w));
 
+  if (!keep_all) f.panels.clear();
   f.panels.push_back({j + b, std::move(wy.v), std::move(wy.t)});
   return cols + w;
 }
@@ -217,9 +221,10 @@ void dbbr_graph(MatrixView a, const BandReductionOptions& opts, Matrix& y,
       pc_deps.insert(pc_deps.end(), col.begin(), col.end());
     }
     if (qr >= 0) pc_deps.push_back(qr);
+    const bool keep_all = opts.want_factors;
     const TaskGraph::NodeId pc = g.add(
         "dbbr.panel_chain", NodeClass::kDriver,
-        [&a, &steps, &pre, &pre_ok, &y, &z, &f, s, n, b, k] {
+        [&a, &steps, &pre, &pre_ok, &y, &z, &f, s, n, b, k, keep_all] {
           // Driver nodes run on the run() caller thread, which still holds
           // the request's cancel::Scope — one poll per outer block.
           cancel::poll("dbbr_block");
@@ -230,7 +235,7 @@ void dbbr_graph(MatrixView a, const BandReductionOptions& opts, Matrix& y,
           for (index_t j = cur.i; j < cur.i + k && n - j - b >= 1; j += b) {
             lapack::WyFactor* p =
                 (j == cur.i && pre_ok[s]) ? &pre[s] : nullptr;
-            cols = panel_step(a, b, j, cols, y, z, f, p);
+            cols = panel_step(a, b, j, cols, y, z, f, p, keep_all);
           }
         },
         pc_deps);
@@ -317,6 +322,7 @@ BandFactor dbbr(MatrixView a, const BandReductionOptions& opts) {
   if (opts.lookahead >= 1 && opts.use_square_syr2k &&
       trace::active() == nullptr) {
     dbbr_graph(a, opts, y, z, f, dbbr_span);
+    if (!opts.want_factors) f.panels.clear();
     return f;
   }
 
@@ -329,7 +335,7 @@ BandFactor dbbr(MatrixView a, const BandReductionOptions& opts) {
     index_t t0 = i;    // start of the stale trailing region
 
     for (index_t j = i; j < i + k && n - j - b >= 1; j += b) {
-      cols = panel_step(a, b, j, cols, y, z, f, nullptr);
+      cols = panel_step(a, b, j, cols, y, z, f, nullptr, opts.want_factors);
       t0 = j + std::min(b, n - j - b);  // columns < t0 final; >= t0 stale
     }
 
@@ -357,6 +363,7 @@ BandFactor dbbr(MatrixView a, const BandReductionOptions& opts) {
     }
     i += k;
   }
+  if (!opts.want_factors) f.panels.clear();
   return f;
 }
 

@@ -66,6 +66,12 @@ struct BandReductionOptions {
   /// use_square_syr2k; falls back to the barrier path under an active op
   /// trace (pool workers carry no recorder).
   index_t lookahead = 0;
+  /// Retain the reflector panels for the stage-1 back transformation. When
+  /// false (a values-only request) the reduction keeps at most one panel
+  /// live at a time — O(n*b) transient instead of the O(n^2/2) full set —
+  /// and returns an empty BandFactor::panels. The arithmetic (and the band
+  /// matrix left in `a`) is bit-for-bit unchanged.
+  bool want_factors = true;
 };
 
 /// Classic SBR. On return the lower triangle of `a` holds the band matrix

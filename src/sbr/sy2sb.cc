@@ -200,6 +200,7 @@ void sy2sb_graph(MatrixView a, const BandReductionOptions& opts, BandFactor& f,
   sy2sb_span.attr("tg_overlap_pct",
                   static_cast<long long>(100.0 * stats.overlap_fraction()));
 
+  if (!opts.want_factors) return;  // values-only: panels are never consumed
   for (index_t p = 0; p < np; ++p) {
     f.panels.push_back(
         {steps[p].j + b, std::move(wys[p].v), std::move(wys[p].t)});
@@ -260,7 +261,9 @@ BandFactor sy2sb(MatrixView a, index_t b, const BandReductionOptions& opts) {
                                          a.block(j + b, j + w, m, b - w));
     }
 
-    f.panels.push_back({j + b, std::move(wy.v), std::move(wy.t)});
+    if (opts.want_factors) {
+      f.panels.push_back({j + b, std::move(wy.v), std::move(wy.t)});
+    }
   }
   return f;
 }

@@ -44,6 +44,7 @@ struct ServeMetrics {
   obs::Counter* rejected;
   obs::Counter* completed;
   obs::Counter* degraded;
+  obs::Counter* precision_degraded;
   obs::Counter* failed;
   obs::Counter* retries;
   obs::Counter* breaker_trips;
@@ -62,6 +63,7 @@ struct ServeMetrics {
                           r.counter("serve.rejected", always),
                           r.counter("serve.completed", always),
                           r.counter("serve.degraded", always),
+                          r.counter("serve.precision_degraded", always),
                           r.counter("serve.failed", always),
                           r.counter("serve.retries", always),
                           r.counter("serve.breaker_trips", always),
@@ -204,7 +206,7 @@ struct ServeCore::Impl {
     const long long bytes =
         static_cast<long long>(n) * static_cast<long long>(n) * 8;
     req->admit_key = plan::cache_key(plan::ProblemShape{
-        std::max<index_t>(n, 1), ropts.vectors, 0});
+        std::max<index_t>(n, 1), ropts.vectors, 0, ropts.mode});
     req->label = bucket_label(n, ropts.vectors);
     req->ctx = obs::TraceContext{obs::next_request_id(), 0};
 
@@ -335,6 +337,7 @@ struct ServeCore::Impl {
   struct Slot {
     std::unique_ptr<Request> req;
     bool vectors = false;  // effective, post-degrade
+    plan::EvdMode mode = plan::EvdMode::kStandard;  // effective, post-degrade
     bool was_degraded = false;
     double queue_ms = 0.0;
   };
@@ -403,6 +406,7 @@ struct ServeCore::Impl {
       Slot s;
       s.queue_ms = ms_between(req->submitted_at, dispatch_tp);
       s.vectors = req->ropts.vectors;
+      s.mode = req->ropts.mode;
       if (req->token->stop_requested()) {
         const bool probe = req->probe;
         fail(std::move(req), ErrorCode::kCancelled,
@@ -410,7 +414,11 @@ struct ServeCore::Impl {
              probe);
         continue;
       }
-      if (s.vectors && opts.allow_degraded && req->ropts.allow_degraded) {
+      const bool precision_rung = opts.allow_precision_degraded &&
+                                  req->ropts.allow_precision_degraded &&
+                                  s.mode == plan::EvdMode::kStandard;
+      if (s.vectors && req->ropts.allow_degraded &&
+          (opts.allow_degraded || precision_rung)) {
         const bool pressure = opts.degrade_queue_depth > 0 &&
                               depth_at_dispatch > opts.degrade_queue_depth;
         bool deadline_pressure = false;
@@ -420,12 +428,18 @@ struct ServeCore::Impl {
               expect > 0.0 && req->token->remaining_ms() < expect;
         }
         if (pressure || deadline_pressure) {
-          s.vectors = false;
+          if (precision_rung) {
+            // First rung: keep the vectors, drop the reduction to FP32 +
+            // FP64 refinement (opt-in — it changes result bits vs FP64).
+            s.mode = plan::EvdMode::kMixedPrecision;
+          } else {
+            s.vectors = false;
+          }
           s.was_degraded = true;
         }
       }
       const std::string key = plan::cache_key(plan::ProblemShape{
-          std::max<index_t>(req->a.rows(), 1), s.vectors, 0});
+          std::max<index_t>(req->a.rows(), 1), s.vectors, 0, s.mode});
       s.req = std::move(req);
       if (fault::should_fire("serve_request")) {
         // Transient first-attempt failure: take the retry ladder solo.
@@ -448,10 +462,12 @@ struct ServeCore::Impl {
         // is attributed to the bucket's first request; per-problem spans get
         // their own slot's context via BatchOptions::trace_contexts.
         obs::ContextScope ctx_scope(slots[idxs[0]].req->ctx);
-        const plan::Plan* plan = warm_plan(key, slots[idxs[0]].vectors,
-                                           slots[idxs[0]].req->a.rows());
+        const plan::Plan* plan =
+            warm_plan(key, slots[idxs[0]].vectors, slots[idxs[0]].mode,
+                      slots[idxs[0]].req->a.rows());
         eig::BatchOptions bopts;
         bopts.vectors = slots[idxs[0]].vectors;
+        bopts.mode = slots[idxs[0]].mode;
         bopts.plan = opts.plan;
         bopts.solver = opts.solver;
         bopts.check_finite = opts.check_finite;
@@ -596,9 +612,11 @@ struct ServeCore::Impl {
         continue;
       }
       try {
-        const plan::Plan* plan = warm_plan(key, s.vectors, s.req->a.rows());
+        const plan::Plan* plan =
+            warm_plan(key, s.vectors, s.mode, s.req->a.rows());
         eig::EvdOptions popt;
         popt.vectors = s.vectors;
+        popt.mode = s.mode;
         popt.solver = opts.solver;
         popt.tridiag.threads = 1;
         popt.tridiag.bc_threads = 1;
@@ -655,6 +673,12 @@ struct ServeCore::Impl {
     breaker_success(req->admit_key, req->probe);
     Response r;
     r.outcome = was_degraded ? Outcome::kDegraded : Outcome::kCompleted;
+    r.mode = result.mode;  // effective: post-degrade, post-recovery
+    // The precision rung keeps the vectors; a degraded resolution that
+    // still carries them (or that fell back fp32->fp64, mode kStandard
+    // with a recovery tag) took that rung rather than eigenvalues-only.
+    const bool precision_rung =
+        was_degraded && r.mode != plan::EvdMode::kValuesOnly;
     r.result = std::move(result);
     r.queue_ms = queue_ms;
     r.solve_ms = solve_ms;
@@ -665,6 +689,7 @@ struct ServeCore::Impl {
       std::lock_guard<std::mutex> lk(mu);
       if (was_degraded) {
         ++degraded;
+        if (precision_rung) ++precision_degraded;
       } else {
         ++completed;
       }
@@ -673,6 +698,7 @@ struct ServeCore::Impl {
       if (queue.empty() && in_flight == 0) drain_cv.notify_all();
     }
     (was_degraded ? m.degraded : m.completed)->inc();
+    if (precision_rung) m.precision_degraded->inc();
     m.latency_us->record(static_cast<long long>(latency * 1e3));
     record_latency_ms(latency, req->label);
     obs::flight::record(obs::flight::EventKind::kMarker, "serve.resolve",
@@ -790,7 +816,7 @@ struct ServeCore::Impl {
   /// the bucket's own build slot, so concurrent submit()/stats()/drain()
   /// never block on planning and only same-bucket callers wait for it.
   const plan::Plan* warm_plan(const std::string& key, bool vectors,
-                              index_t n) {
+                              plan::EvdMode mode, index_t n) {
     PlanSlot* slot;
     {
       std::lock_guard<std::mutex> lk(mu);
@@ -808,6 +834,7 @@ struct ServeCore::Impl {
     try {
       eig::BatchOptions bopts;
       bopts.vectors = vectors;
+      bopts.mode = mode;
       bopts.plan = opts.plan;
       built = eig::batch_bucket_plan(n, bopts);
     } catch (...) {
@@ -883,6 +910,7 @@ struct ServeCore::Impl {
       s.rejected = rejected;
       s.completed = completed;
       s.degraded = degraded;
+      s.precision_degraded = precision_degraded;
       s.failed = failed;
       s.retries = retries;
       s.breaker_trips = breaker_trips;
@@ -928,6 +956,7 @@ struct ServeCore::Impl {
   long long rejected = 0;
   long long completed = 0;
   long long degraded = 0;
+  long long precision_degraded = 0;
   long long failed = 0;
   long long retries = 0;
   long long breaker_trips = 0;

@@ -18,8 +18,11 @@
 //                 reusable (asserted bitwise in tests/serve_test.cc).
 //   degradation — under queue pressure, or when the remaining deadline is
 //                 smaller than the bucket's observed vectors-solve time, a
-//                 vectors request falls back to eigenvalues-only (outcome
-//                 kDegraded) rather than missing its deadline.
+//                 vectors request degrades (outcome kDegraded) rather than
+//                 missing its deadline. The ladder has two rungs, tried in
+//                 order: mixed precision (FP32 compute + FP64 refinement,
+//                 vectors kept; OPT-IN via allow_precision_degraded, default
+//                 off) and eigenvalues-only (vectors dropped).
 //   retry       — transient failures (kFaultInjected) retry once
 //                 (max_retries) with jittered backoff, solo, under the
 //                 same token and bucket plan, on a dedicated retry
@@ -95,6 +98,12 @@ struct ServeOptions {
   double retry_backoff_ms = 5.0;
   /// Server-wide switch for the eigenvalues-only degradation rung.
   bool allow_degraded = true;
+  /// Server-wide switch for the mixed-precision degradation rung, tried
+  /// BEFORE eigenvalues-only: a standard-mode vectors request under
+  /// pressure keeps its vectors but runs the FP32 engine + FP64 refinement
+  /// (plan::EvdMode::kMixedPrecision). Off by default — the rung changes
+  /// result bits versus the FP64 path, so a deployment must opt in.
+  bool allow_precision_degraded = false;
   /// Queue depth (at dispatch) beyond which vectors requests degrade to
   /// eigenvalues-only; 0 = never degrade on queue pressure alone.
   index_t degrade_queue_depth = 0;
@@ -115,11 +124,18 @@ struct ServeOptions {
 struct RequestOptions {
   /// Compute eigenvectors (may be degraded to false, see allow_degraded).
   bool vectors = true;
+  /// Requested execution mode (plan::EvdMode; normalization rules in
+  /// eig::EvdOptions::mode). The response echoes the EFFECTIVE mode, which
+  /// may differ: degradation rungs and fp32->fp64 recovery both change it.
+  plan::EvdMode mode = plan::EvdMode::kStandard;
   /// Relative deadline in ms from submit; 0 = none. Propagates as a
   /// cancel::Token deadline through every pipeline phase.
   double deadline_ms = 0.0;
-  /// Allow this request to take the eigenvalues-only degradation rung.
+  /// Allow this request to take a degradation rung at all.
   bool allow_degraded = true;
+  /// Allow the mixed-precision rung specifically (requires the server-wide
+  /// ServeOptions::allow_precision_degraded opt-in as well).
+  bool allow_precision_degraded = true;
 };
 
 /// Exactly-once request resolution.
@@ -138,6 +154,10 @@ struct Response {
   Outcome outcome = Outcome::kFailed;
   ErrorCode code = ErrorCode::kUnknown;
   std::string message;
+  /// The execution mode that actually produced `result` (meaningful for
+  /// kCompleted / kDegraded): the requested mode after any degradation
+  /// rung and any fp32->fp64 recovery inside the solve.
+  plan::EvdMode mode = plan::EvdMode::kStandard;
   eig::EvdResult result;
   double queue_ms = 0.0;  // admit -> dispatch
   double solve_ms = 0.0;  // dispatch -> resolution (includes retries)
@@ -165,6 +185,9 @@ struct ServeStats {
   long long rejected = 0;
   long long completed = 0;
   long long degraded = 0;
+  /// Of `degraded`, the requests that took the mixed-precision rung
+  /// (vectors kept). degraded - precision_degraded took eigenvalues-only.
+  long long precision_degraded = 0;
   long long failed = 0;
   long long retries = 0;
   long long breaker_trips = 0;

@@ -84,6 +84,22 @@ ParsedRequest parse_line(const std::string& line) {
   }
   if (verb != "solve") return bad("unknown verb '" + verb + "'");
 
+  // Strict field vocabulary: an unknown (or malformed) token is a parse
+  // error, never a silent no-op — a client typo'ing "vectros=0" must hear
+  // about it instead of paying for an unwanted vectors solve.
+  static const char* const kSolveFields[] = {
+      "id", "n", "seed", "vectors", "degrade", "deadline_ms", "mode", "prec"};
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    const std::size_t eq = toks[i].find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return bad("malformed field '" + toks[i] + "' (expected key=value)");
+    }
+    const std::string key = toks[i].substr(0, eq);
+    bool known = false;
+    for (const char* f : kSolveFields) known = known || key == f;
+    if (!known) return bad("unknown field '" + key + "'");
+  }
+
   p.kind = ParsedRequest::kSolve;
   std::string v;
   long long ll = 0;
@@ -112,6 +128,35 @@ ParsedRequest parse_line(const std::string& line) {
     if (!to_double(v, &d) || d < 0.0) return bad("bad deadline_ms");
     p.opts.deadline_ms = d;
   }
+  bool mode_set = false;
+  if (field(toks, "mode", &v)) {
+    if (v == "standard") {
+      p.opts.mode = plan::EvdMode::kStandard;
+    } else if (v == "values") {
+      p.opts.mode = plan::EvdMode::kValuesOnly;
+    } else if (v == "mixed") {
+      p.opts.mode = plan::EvdMode::kMixedPrecision;
+    } else {
+      return bad("bad mode (standard|values|mixed)");
+    }
+    mode_set = true;
+  }
+  if (field(toks, "prec", &v)) {
+    // The precision-axis spelling: fp32 = mode=mixed. Tolerated alongside
+    // an explicit mode= only when the two agree.
+    if (v == "fp32") {
+      if (mode_set && p.opts.mode != plan::EvdMode::kMixedPrecision) {
+        return bad("prec=fp32 conflicts with mode");
+      }
+      p.opts.mode = plan::EvdMode::kMixedPrecision;
+    } else if (v == "fp64") {
+      if (mode_set && p.opts.mode == plan::EvdMode::kMixedPrecision) {
+        return bad("prec=fp64 conflicts with mode=mixed");
+      }
+    } else {
+      return bad("bad prec (fp64|fp32)");
+    }
+  }
   return p;
 }
 
@@ -126,9 +171,11 @@ std::string format_response(long long id, const Response& r) {
       w_max = *hi;
     }
     std::snprintf(buf, sizeof(buf),
-                  "ok id=%lld req=%lld outcome=%s n=%lld w_min=%.17g "
-                  "w_max=%.17g queue_ms=%.3f solve_ms=%.3f retries=%d",
+                  "ok id=%lld req=%lld outcome=%s mode=%s n=%lld "
+                  "w_min=%.17g w_max=%.17g queue_ms=%.3f solve_ms=%.3f "
+                  "retries=%d",
                   id, r.request_id, to_string(r.outcome),
+                  plan::to_string(r.mode),
                   static_cast<long long>(r.result.eigenvalues.size()), w_min,
                   w_max, r.queue_ms, r.solve_ms, r.retries);
     return buf;
@@ -146,13 +193,15 @@ std::string format_stats(const ServeStats& s) {
   std::snprintf(
       buf, sizeof(buf),
       "stats {\"submitted\":%lld,\"admitted\":%lld,\"rejected\":%lld,"
-      "\"completed\":%lld,\"degraded\":%lld,\"failed\":%lld,"
+      "\"completed\":%lld,\"degraded\":%lld,\"precision_degraded\":%lld,"
+      "\"failed\":%lld,"
       "\"retries\":%lld,\"breaker_trips\":%lld,\"batches\":%lld,"
       "\"deadline_failures\":%lld,\"queue_depth\":%lld,"
       "\"queue_depth_hwm\":%lld,\"p50_ms\":%.3f,\"p95_ms\":%.3f,"
       "\"p99_ms\":%.3f,\"hist_p50_ms\":%.3f,\"hist_p95_ms\":%.3f,"
       "\"hist_p99_ms\":%.3f,\"accounted\":%s}",
-      s.submitted, s.admitted, s.rejected, s.completed, s.degraded, s.failed,
+      s.submitted, s.admitted, s.rejected, s.completed, s.degraded,
+      s.precision_degraded, s.failed,
       s.retries, s.breaker_trips, s.batches, s.deadline_failures,
       s.queue_depth, s.queue_depth_hwm, s.p50_ms, s.p95_ms, s.p99_ms,
       s.hist_p50_ms, s.hist_p95_ms, s.hist_p99_ms,

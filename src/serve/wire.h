@@ -6,11 +6,15 @@
 // Requests, one per line, space-separated key=value fields after a verb:
 //
 //   solve id=<n> n=<dim> [vectors=0|1] [deadline_ms=<ms>] [degrade=0|1]
-//         [seed=<u64>]
+//         [seed=<u64>] [mode=standard|values|mixed] [prec=fp64|fp32]
 //       Solve one synthetic symmetric problem: the matrix is generated
 //       server-side from `seed` (la::random_symmetric, deterministic), so
 //       the protocol stays line-oriented — a benchmarking/acceptance
-//       front end, not a bulk-data plane.
+//       front end, not a bulk-data plane. `mode` selects the execution
+//       mode (plan::EvdMode); `prec=fp32` is the precision-axis spelling
+//       of mode=mixed (the two may be combined only when they agree).
+//       Unknown fields are REJECTED with a kBad parse diagnostic — the
+//       protocol is strict, so a typo'd knob can never silently no-op.
 //   stats    — one stats line
 //   metrics  — the full metrics registry as OpenMetrics/Prometheus text
 //   drain    — stop admitting, resolve everything queued, then ack
@@ -18,9 +22,15 @@
 //
 // Responses, one line per request:
 //
-//   ok id=<n> req=<rid> outcome=completed|degraded n=<dim> w_min=<v>
-//      w_max=<v> queue_ms=<v> solve_ms=<v> retries=<k>
+//   ok id=<n> req=<rid> outcome=completed|degraded mode=<effective> n=<dim>
+//      w_min=<v> w_max=<v> queue_ms=<v> solve_ms=<v> retries=<k>
 //   err id=<n> req=<rid> outcome=rejected|failed code=<error-code> msg="..."
+//
+// `mode` echoes the EFFECTIVE execution mode (standard|values|mixed): a
+// degraded request reports the rung it landed on, and a mixed request that
+// fell back to full FP64 (recovery fp32->fp64) reports standard. The
+// framing — one space-separated line per resolution, key=value fields, ok/
+// err discriminator first — is unchanged from the pre-mode protocol.
 //   stats {...ServeStats as a JSON object...}
 //   bye
 //

@@ -323,65 +323,71 @@ TEST(Batched, SolverFaultRecoversInsideItsSlot) {
 }
 
 // ---------------------------------------------------------------------------
-// Consolidated knob plumbing (plan::Knobs + deprecated aliases).
+// Consolidated knob plumbing (plan::Knobs layering + eig::validate).
 
-TEST(Knobs, DeprecatedFieldsForwardAndNewStructWins) {
+TEST(Knobs, KnobLayersMergeWithOptionsPrecedence) {
   const index_t n = 96;
   Rng rng(7011);
   const Matrix a = random_symmetric(n, rng);
 
-  // Old spelling and new spelling of the same configuration agree bitwise.
-  eig::EvdOptions oldstyle;
-  oldstyle.smlsiz = 16;
-  oldstyle.bt_kw = 64;
-  oldstyle.q2_group = 32;
-  eig::EvdOptions newstyle;
-  newstyle.knobs.smlsiz = 16;
-  newstyle.knobs.bt_kw = 64;
-  newstyle.knobs.q2_group = 32;
-  expect_bitwise_equal(eig::eigh(a.view(), oldstyle),
-                       eig::eigh(a.view(), newstyle));
-
-  // merged_knobs: the new sub-struct wins over the deprecated aliases.
-  eig::EvdOptions both = oldstyle;
-  both.knobs.smlsiz = 24;
-  const plan::Knobs merged = eig::merged_knobs(both);
-  EXPECT_EQ(merged.smlsiz, 24);
-  EXPECT_EQ(merged.bt_kw, 64);
-  EXPECT_EQ(merged.q2_group, 32);
-
-  // Knobs riding on TridiagOptions sit at the lowest precedence.
+  // The same configuration spelled at the options level and at the
+  // tridiag-options level (lowest precedence) resolves identically.
+  eig::EvdOptions atopts;
+  atopts.knobs.smlsiz = 16;
+  atopts.knobs.bt_kw = 64;
+  atopts.knobs.q2_group = 32;
   eig::EvdOptions viatri;
   viatri.tridiag.knobs.smlsiz = 16;
   viatri.tridiag.knobs.bt_kw = 64;
   viatri.tridiag.knobs.q2_group = 32;
   expect_bitwise_equal(eig::eigh(a.view(), viatri),
-                       eig::eigh(a.view(), newstyle));
+                       eig::eigh(a.view(), atopts));
+
+  // merged_knobs: the options-level sub-struct wins field-wise over the
+  // knobs riding on TridiagOptions.
+  eig::EvdOptions both = viatri;
+  both.knobs.smlsiz = 24;
+  const plan::Knobs merged = eig::merged_knobs(both);
+  EXPECT_EQ(merged.smlsiz, 24);
+  EXPECT_EQ(merged.bt_kw, 64);
+  EXPECT_EQ(merged.q2_group, 32);
 }
 
-TEST(Knobs, ApplyQOptionsAliasesForward) {
-  const index_t n = 80;
-  Rng rng(7012);
-  const Matrix a = random_symmetric(n, rng);
-  TridiagOptions topts;
-  topts.threads = 1;
-  const TridiagResult tri = tridiagonalize(a.view(), topts);
+TEST(Knobs, ValidateResolvesOptionsWithoutRunning) {
+  // validate() canonicalizes the mode/vectors axis and folds the knob
+  // layers into one vector — the same resolution eigh() performs at entry.
+  eig::EvdOptions o;
+  o.mode = plan::EvdMode::kValuesOnly;
+  o.knobs.smlsiz = 24;
+  o.tridiag.knobs.bt_kw = 64;
+  const eig::EvdOptions v = eig::validate(o);
+  EXPECT_FALSE(v.vectors);
+  EXPECT_EQ(v.mode, plan::EvdMode::kValuesOnly);
+  EXPECT_EQ(v.knobs.smlsiz, 24);
+  EXPECT_EQ(v.knobs.bt_kw, 64);   // lifted from tridiag.knobs
+  EXPECT_EQ(v.tridiag.knobs.bt_kw, 0);  // ... which is now empty
 
-  Matrix c_old = Matrix::identity(n);
-  Matrix c_new = Matrix::identity(n);
-  ApplyQOptions oldstyle;
-  oldstyle.bt_kw = 48;
-  oldstyle.q2_group = 16;
-  ApplyQOptions newstyle;
-  newstyle.knobs.bt_kw = 48;
-  newstyle.knobs.q2_group = 16;
-  apply_q(tri, c_old.view(), oldstyle);
-  apply_q(tri, c_new.view(), newstyle);
-  for (index_t j = 0; j < n; ++j) {
-    for (index_t i = 0; i < n; ++i) {
-      ASSERT_EQ(c_old(i, j), c_new(i, j));
-    }
-  }
+  // The legacy vectors flag maps onto the mode axis and vice versa.
+  eig::EvdOptions legacy;
+  legacy.vectors = false;
+  EXPECT_EQ(eig::validate(legacy).mode, plan::EvdMode::kValuesOnly);
+  eig::EvdOptions mixed_vo;
+  mixed_vo.mode = plan::EvdMode::kMixedPrecision;
+  mixed_vo.vectors = false;
+  EXPECT_EQ(eig::validate(mixed_vo).mode, plan::EvdMode::kValuesOnly);
+
+  // Validation is idempotent and rejects negative knobs without running.
+  const eig::EvdOptions vv = eig::validate(v);
+  EXPECT_EQ(vv.mode, v.mode);
+  EXPECT_EQ(vv.vectors, v.vectors);
+  EXPECT_EQ(vv.knobs.smlsiz, v.knobs.smlsiz);
+  EXPECT_EQ(vv.knobs.bt_kw, v.knobs.bt_kw);
+  eig::EvdOptions bad;
+  bad.knobs.q2_group = -1;
+  EXPECT_THROW(eig::validate(bad), Error);
+  eig::EvdOptions badref;
+  badref.knobs.refine.tol = -1.0;
+  EXPECT_THROW(eig::validate(badref), Error);
 }
 
 // ---------------------------------------------------------------------------

@@ -227,7 +227,7 @@ TEST_P(EighPipelineTest, ResidualAndOrthogonality) {
   opts.tridiag.b = 4;
   opts.tridiag.k = 8;
   opts.tridiag.bc_threads = 3;
-  opts.bt_kw = 8;
+  opts.knobs.bt_kw = 8;
   const eig::EvdResult r = eig::eigh(a.view(), opts);
 
   EXPECT_TRUE(std::is_sorted(r.eigenvalues.begin(), r.eigenvalues.end()));

@@ -451,7 +451,7 @@ TEST(SolverFallback, SecularFailureTriggersDcFallback) {
   Rng rng(15);
   const Matrix a = random_symmetric(n, rng);
   eig::EvdOptions opts;
-  opts.smlsiz = 8;  // force real D&C merges so the secular solver runs
+  opts.knobs.smlsiz = 8;  // force real D&C merges so the secular solver runs
   const eig::EvdResult clean = eig::eigh(a.view(), opts);
   ASSERT_TRUE(clean.recovery.empty());
 
@@ -568,7 +568,7 @@ TEST(FaultStress, EverySiteUnwindsUnderThreads) {
        {"pool_task", "bc_sweep", "steqr_noconv", "secular_root"}) {
     fault::Scoped armed(site);
     eig::EvdOptions opts;
-    opts.smlsiz = 16;  // real merges, so secular_root is reachable
+    opts.knobs.smlsiz = 16;  // real merges, so secular_root is reachable
     opts.tridiag.bc_threads = 4;
     opts.tridiag.b = 8;
     try {
@@ -613,7 +613,7 @@ TEST(FaultEnv, NoHangUnderInjection) {
   Rng rng(18);
   const Matrix a = random_symmetric(n, rng);
   eig::EvdOptions opts;
-  opts.smlsiz = 16;
+  opts.knobs.smlsiz = 16;
   opts.tridiag.b = 8;
   opts.tridiag.bc_threads = 4;
   // Force the task-graph schedule so the taskgraph_node site is reachable
@@ -644,6 +644,31 @@ TEST(FaultEnv, NoHangUnderInjection) {
   }
   std::remove(path.c_str());
   std::remove((path + ".lock").c_str());
+}
+
+// Mixed-precision engine under environment injection (the "evd_refine:1"
+// row of the CI fault matrix, plus any in-pipeline site the FP32 stage
+// shares with the FP64 path): a forced refinement failure must surface as
+// the recorded fp32->fp64 recovery — a completed full-FP64 rerun — never a
+// hang or an uncaught throw.
+TEST(FaultEnv, MixedPrecisionRecoversUnderInjection) {
+  const index_t n = 96;
+  Rng rng(21);
+  const Matrix a = random_symmetric(n, rng);
+  eig::EvdOptions opts;
+  opts.mode = plan::EvdMode::kMixedPrecision;
+  try {
+    const eig::EvdResult res = eig::eigh(a.view(), opts);
+    EXPECT_EQ(res.eigenvalues.size(), static_cast<size_t>(n));
+    EXPECT_EQ(res.eigenvectors.cols(), n);
+    if (!res.recovery.empty()) {
+      std::printf("recovered via %s\n", res.recovery.c_str());
+    }
+  } catch (const Error& err) {
+    EXPECT_NE(err.code(), ErrorCode::kUnknown);
+    std::printf("injected failure surfaced as %s: %s\n",
+                to_string(err.code()), err.what());
+  }
 }
 
 // Batched driver under environment injection (the "batch_problem:N" rows of

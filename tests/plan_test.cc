@@ -161,15 +161,15 @@ TEST(Validation, RejectsNegativeKnobs) {
   o.max_parallel_sweeps = -2;
   EXPECT_THROW(plan::validated(o, 10), Error);
   ApplyQOptions q;
-  q.bt_kw = -5;
+  q.knobs.bt_kw = -5;
   EXPECT_THROW(plan::validated(q, 10), Error);
 }
 
 TEST(Validation, FillsApplyQDefaults) {
   ApplyQOptions q;  // all knobs auto
   const ApplyQOptions v = plan::validated(q, 1000);
-  EXPECT_GE(v.bt_kw, 1);
-  EXPECT_GE(v.q2_group, 1);
+  EXPECT_GE(v.knobs.bt_kw, 1);
+  EXPECT_GE(v.knobs.q2_group, 1);
 }
 
 TEST(PlanCache, RoundTripThroughFile) {
@@ -310,9 +310,9 @@ TEST(PlanModes, HeuristicMatchesManualBitwise) {
   manual.tridiag.sytrd_nb = p.sytrd_nb;
   manual.tridiag.bc_threads = p.bc_threads;
   manual.tridiag.max_parallel_sweeps = p.max_parallel_sweeps;
-  manual.smlsiz = p.smlsiz;
-  manual.bt_kw = p.bt_kw;
-  manual.q2_group = p.q2_group;
+  manual.knobs.smlsiz = p.smlsiz;
+  manual.knobs.bt_kw = p.bt_kw;
+  manual.knobs.q2_group = p.q2_group;
   const eig::EvdResult r2 = eigh(a.view(), manual);
   EXPECT_EQ(base_source(r2.plan_source), "defaults");
 

@@ -422,8 +422,9 @@ TEST(ServeWireTest, FormatsOkAndErrResponses) {
   ok.result.eigenvalues = {-1.5, 0.25, 3.0};
   ok.request_id = 41;
   const std::string ok_line = serve::wire::format_response(4, ok);
-  EXPECT_NE(ok_line.find("ok id=4 req=41 outcome=completed n=3"),
-            std::string::npos);
+  EXPECT_NE(
+      ok_line.find("ok id=4 req=41 outcome=completed mode=standard n=3"),
+      std::string::npos);
   EXPECT_NE(ok_line.find("w_min=-1.5"), std::string::npos);
   EXPECT_NE(ok_line.find("w_max=3"), std::string::npos);
 
